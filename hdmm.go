@@ -1,0 +1,236 @@
+// Package hdmm is a Go implementation of the High-Dimensional Matrix
+// Mechanism (McKenna, Miklau, Hay, Machanavajjhala: "Optimizing error of
+// high-dimensional statistical queries under differential privacy",
+// PVLDB 11(10), 2018).
+//
+// HDMM answers a workload of predicate counting queries over a
+// multi-dimensional categorical domain under ε-differential privacy. It
+// encodes the workload implicitly as a weighted union of Kronecker products
+// (never materializing the m×N workload matrix), searches a restricted
+// strategy space for a measurement strategy with minimal expected total
+// squared error, measures the strategy privately with the Laplace
+// mechanism, and reconstructs workload answers by least squares.
+//
+// Typical use:
+//
+//	dom := hdmm.NewDomain(
+//		hdmm.Attribute{Name: "sex", Size: 2},
+//		hdmm.Attribute{Name: "age", Size: 115},
+//	)
+//	w, _ := hdmm.NewWorkload(dom,
+//		hdmm.NewProduct(hdmm.Identity(2), hdmm.AllRange(115)),
+//	)
+//	res, _ := hdmm.Run(w, dom.DataVector(records), 1.0, hdmm.Options{Seed: 7})
+//	fmt.Println(res.Answers)
+//
+// Strategy selection never looks at the data, so it consumes no privacy
+// budget; the Laplace measurement is the only data access and the whole
+// pipeline satisfies ε-differential privacy (Theorem 7 of the paper).
+package hdmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/mech"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// Attribute is a named categorical attribute with a finite domain size.
+type Attribute = schema.Attribute
+
+// Domain is an ordered list of attributes defining dom(R) and the
+// data-vector indexing.
+type Domain = schema.Domain
+
+// NewDomain builds a domain from attributes.
+func NewDomain(attrs ...Attribute) *Domain { return schema.NewDomain(attrs...) }
+
+// PredicateSet is a set of 0/1 predicates over one attribute.
+type PredicateSet = workload.PredicateSet
+
+// Predicate-set building blocks (Section 3.3 of the paper).
+var (
+	// Identity returns one point predicate per domain element (I).
+	Identity = workload.Identity
+	// Total returns the single always-true predicate (T).
+	Total = workload.Total
+	// Prefix returns the CDF workload of all prefixes (P).
+	Prefix = workload.Prefix
+	// AllRange returns all n(n+1)/2 interval queries (R).
+	AllRange = workload.AllRange
+	// WidthRange returns all intervals of one fixed width.
+	WidthRange = workload.WidthRange
+	// Permute relabels the domain of a predicate set.
+	Permute = workload.Permute
+	// NewExplicit wraps an arbitrary 0/1 predicate matrix.
+	NewExplicit = workload.NewExplicit
+)
+
+// Product is one Kronecker-product term of a workload.
+type Product = workload.Product
+
+// NewProduct builds a weight-1 product from per-attribute predicate sets.
+func NewProduct(terms ...PredicateSet) Product { return workload.NewProduct(terms...) }
+
+// Workload is a weighted union of products over a common domain — the
+// logical workload representation of Definition 3.
+type Workload = workload.Workload
+
+// NewWorkload validates and builds a workload.
+func NewWorkload(dom *Domain, products ...Product) (*Workload, error) {
+	return workload.New(dom, products...)
+}
+
+// Marginals workload builders (Section 6.3 / Table 5).
+var (
+	Marginal           = workload.Marginal
+	AllMarginals       = workload.AllMarginals
+	KWayMarginals      = workload.KWayMarginals
+	UpToKWayMarginals  = workload.UpToKWayMarginals
+	AllRangeMarginals  = workload.AllRangeMarginals
+	KWayRangeMarginals = workload.KWayRangeMarginals
+)
+
+// Strategy is a selected measurement strategy.
+type Strategy = core.Strategy
+
+// SelectOptions controls strategy selection (Algorithm 2). The zero value
+// uses sensible defaults (5 restarts, all operators enabled).
+type SelectOptions = core.HDMMOptions
+
+// Selected is the result of strategy selection: the strategy, its expected
+// total squared error ‖W·A⁺‖²_F (multiply by 2/ε² for the error at a given
+// budget), and the operator that produced it.
+type Selected = core.Selected
+
+// Select runs OPT_HDMM strategy selection for the workload. It never
+// touches data and consumes no privacy budget.
+func Select(w *Workload, opts SelectOptions) (*Selected, error) {
+	return core.Select(w, opts)
+}
+
+// Options configures an end-to-end Run.
+type Options struct {
+	// Selection controls strategy search; zero value = defaults.
+	Selection SelectOptions
+	// Seed makes the private noise reproducible. Production deployments
+	// must leave Seed zero and supply their own entropy via Rand.
+	Seed uint64
+	// Rand overrides the noise source (optional).
+	Rand *rand.Rand
+	// SkipAnswers leaves Result.Answers nil (useful when the workload is
+	// too large to enumerate explicitly and only Xhat is wanted).
+	SkipAnswers bool
+}
+
+// Result is the outcome of an end-to-end private run.
+type Result struct {
+	// Xhat is the differentially private estimate of the data vector;
+	// any further query evaluated on it is privacy-free post-processing.
+	Xhat []float64
+	// Answers holds the private workload answers W·x̂ (nil if skipped).
+	Answers []float64
+	// Strategy and Operator identify the selected measurement strategy.
+	Strategy Strategy
+	Operator string
+	// ExpectedRMSE is the predicted per-query root-mean-squared error of
+	// the workload answers at the requested ε.
+	ExpectedRMSE float64
+}
+
+// Run executes the complete HDMM pipeline of Table 1(b): ImpVec (the
+// workload is already implicit), OPT_HDMM strategy selection, Laplace
+// measurement with budget eps, least-squares reconstruction, and workload
+// answering. The output satisfies ε-differential privacy.
+func Run(w *Workload, x []float64, eps float64, opts Options) (*Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("hdmm: epsilon must be positive, got %v", eps)
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(opts.Seed, 0xd9e)) // deterministic if Seed set
+	}
+	res, err := mech.Run(w, x, eps, rng, mech.Options{
+		Selection:      opts.Selection,
+		ComputeAnswers: !opts.SkipAnswers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Xhat:         res.Xhat,
+		Answers:      res.Answers,
+		Strategy:     res.Strategy,
+		Operator:     res.Operator,
+		ExpectedRMSE: res.RootMSE,
+	}, nil
+}
+
+// WeightForRelativeError reweights a workload inversely with average query
+// support, the Section 9 heuristic that approximately optimizes relative
+// (instead of absolute) error for near-uniform data.
+func WeightForRelativeError(w *Workload) *Workload {
+	return workload.WeightForRelativeError(w)
+}
+
+// RunGaussian is Run under (ε,δ)-differential privacy: measurement uses the
+// Gaussian mechanism calibrated to the strategy's L2 sensitivity instead of
+// Laplace noise on its L1 sensitivity. Strategy selection is unchanged.
+func RunGaussian(w *Workload, x []float64, eps, delta float64, opts Options) (*Result, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("hdmm: invalid (ε,δ) = (%v, %v)", eps, delta)
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(opts.Seed, 0xd9e))
+	}
+	sel, err := core.Select(w, opts.Selection)
+	if err != nil {
+		return nil, err
+	}
+	op := sel.Strategy.Operator()
+	y := mech.MeasureGaussian(op, x, eps, delta, rng)
+	xhat, err := sel.Strategy.Reconstruct(y)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Xhat: xhat, Strategy: sel.Strategy, Operator: sel.Operator}
+	sigma := mech.GaussianSigma(mech.L2Sensitivity(op), eps, delta)
+	// Per-query variance scales with σ² where the Laplace analysis uses
+	// 2·(Δ₁/ε)²; translate the closed-form expected error accordingly.
+	res.ExpectedRMSE = sigma * math.Sqrt(sel.Err/float64(w.NumQueries()))
+	if !opts.SkipAnswers {
+		res.Answers, err = mech.AnswerWorkload(w, xhat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExpectedError returns the expected total squared error of answering w
+// from strategy a at privacy budget eps: (2/ε²)·‖A‖₁²·‖W·A⁺‖²_F.
+func ExpectedError(w *Workload, a Strategy, eps float64) (float64, error) {
+	e, err := a.Error(w)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * e / (eps * eps), nil
+}
+
+// Ratio computes the error ratio of Section 8.1 between a competing
+// mechanism's expected total squared error and HDMM's:
+// Ratio = sqrt(errOther/errHDMM). Both must be at matching ε conventions.
+func Ratio(errOther, errHDMM float64) float64 {
+	return math.Sqrt(errOther / errHDMM)
+}
+
+// AnswerWorkload evaluates all workload queries on a data vector (or on a
+// private estimate Xhat — post-processing).
+func AnswerWorkload(w *Workload, x []float64) ([]float64, error) {
+	return mech.AnswerWorkload(w, x)
+}

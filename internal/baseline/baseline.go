@@ -1,0 +1,174 @@
+// Package baseline implements the non-hierarchical competitors of Section 8:
+// the Laplace Mechanism (LM) and Identity baselines, the DataCube greedy
+// marginal-selection mechanism (Ding et al.), and a general-strategy local
+// optimizer (OPTGen) that plays the role of the Low-Rank Mechanism (LRM) and
+// small-scale Matrix Mechanism comparators: like LRM it searches an
+// unstructured dense strategy space with Θ(N³)-per-iteration cost, which
+// reproduces both its accuracy niche and its scalability wall.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/marginals"
+	"repro/internal/workload"
+)
+
+// IdentityErr returns the expected total squared error of the Identity
+// strategy: tr(WᵀW) (2/ε² omitted, as everywhere in this codebase).
+func IdentityErr(w *workload.Workload) float64 {
+	return w.GramTrace()
+}
+
+// LMErr returns the expected total squared error of the Laplace Mechanism
+// applied directly to the m workload queries: m·‖W‖₁² (2/ε² omitted). The
+// sensitivity is computed from the implicit representation without
+// materializing W.
+func LMErr(w *workload.Workload) float64 {
+	sens := w.Sensitivity()
+	return float64(w.NumQueries()) * sens * sens
+}
+
+// LMErrMarginals is LMErr specialized to pure-marginals workloads, where
+// ‖W‖₁ = Σ weights (each marginal covers each domain element exactly once)
+// and no O(N) column-sum materialization is needed. Subsets are bitmasks.
+func LMErrMarginals(space *marginals.Space, subsets []int, weights []float64) float64 {
+	sens := 0.0
+	m := 0.0
+	for i, s := range subsets {
+		sens += weights[i]
+		m += weights[i] * weights[i] * float64(space.MarginalSize(s))
+	}
+	// Total squared error: Σ_queries w²·sens² — for weighted queries the
+	// per-query variance is sens² and the squared-error contribution scales
+	// with the squared weight.
+	return m * sens * sens
+}
+
+// ---------------------------------------------------------------------------
+// DataCube (Ding et al. 2011): greedy marginal selection
+// ---------------------------------------------------------------------------
+
+// DataCubeResult reports the greedy selection and its expected error.
+type DataCubeResult struct {
+	Measured []int   // bitmasks of measured marginals
+	Err      float64 // expected total squared error (2/ε² omitted)
+}
+
+// DataCube greedily selects a set of measurement marginals to answer a
+// workload of marginals (given as subset bitmasks with weights). Following
+// Ding et al., each workload marginal S is answered by aggregating the
+// cheapest measured superset T ⊇ S; measuring t marginals costs sensitivity
+// t, so Err(S|T,𝕋) = w_S²·n_S·(∏_{i∈T\S} n_i)·|𝕋|². Starting from the full
+// contingency table (which answers everything), marginals are added while
+// they reduce total error.
+func DataCube(space *marginals.Space, subsets []int, weights []float64) *DataCubeResult {
+	totalErr := func(ts []int) float64 {
+		t := float64(len(ts))
+		total := 0.0
+		for i, s := range subsets {
+			best := math.Inf(1)
+			for _, m := range ts {
+				if m&s == s { // superset
+					agg := space.GBar(s) / space.GBar(m) // ∏_{i∈T\S} n_i
+					cost := float64(space.MarginalSize(s)) * agg
+					if cost < best {
+						best = cost
+					}
+				}
+			}
+			total += weights[i] * weights[i] * best
+		}
+		return total * t * t
+	}
+
+	// Forward selection: adding a marginal raises the sensitivity factor t²
+	// for everything, so a single addition can look bad even when a set of
+	// additions wins. Build the full greedy path (always adding the
+	// marginal that minimizes the resulting total error) and keep the best
+	// prefix seen. Run the path from two natural seeds — the full table
+	// (which covers everything) and the deduplicated workload itself — and
+	// return the better outcome.
+	var bestSet []int
+	bestTotal := math.Inf(1)
+	maxSize := len(subsets) + 2
+	if lim := space.NumSubsets(); maxSize > lim {
+		maxSize = lim
+	}
+
+	greedyFrom := func(seed []int) {
+		measured := append([]int(nil), seed...)
+		if e := totalErr(measured); e < bestTotal {
+			bestTotal = e
+			bestSet = append([]int(nil), measured...)
+		}
+		for len(measured) < maxSize {
+			cand, candErr := -1, math.Inf(1)
+			for c := 0; c < space.NumSubsets(); c++ {
+				if contains(measured, c) {
+					continue
+				}
+				useful := false
+				for _, s := range subsets {
+					if c&s == s {
+						useful = true
+						break
+					}
+				}
+				if !useful {
+					continue
+				}
+				if e := totalErr(append(measured, c)); e < candErr {
+					cand, candErr = c, e
+				}
+			}
+			if cand < 0 {
+				break
+			}
+			measured = append(measured, cand)
+			if candErr < bestTotal {
+				bestTotal = candErr
+				bestSet = append([]int(nil), measured...)
+			}
+		}
+	}
+
+	greedyFrom([]int{space.Full()})
+	var dedup []int
+	for _, s := range subsets {
+		if !contains(dedup, s) {
+			dedup = append(dedup, s)
+		}
+	}
+	greedyFrom(dedup)
+	return &DataCubeResult{Measured: bestSet, Err: bestTotal}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MarginalWorkloadSubsets extracts (subset mask, weight) pairs from a
+// workload whose products are all pure marginals (Identity/Total terms);
+// it returns ok=false otherwise.
+func MarginalWorkloadSubsets(w *workload.Workload) (subsets []int, weights []float64, ok bool) {
+	for _, p := range w.Products {
+		mask := 0
+		for i, t := range p.Terms {
+			if !workload.IsTotalOrIdentity(t) {
+				return nil, nil, false
+			}
+			if t.Rows() > 1 {
+				mask |= 1 << uint(i)
+			}
+		}
+		subsets = append(subsets, mask)
+		weights = append(weights, p.Weight)
+	}
+	return subsets, weights, true
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/marginals"
+	"repro/internal/mat"
+	"repro/internal/optimize"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func TestLMErrAgainstExplicit(t *testing.T) {
+	dom := schema.Sizes(6, 4)
+	w := workload.MustNew(dom,
+		workload.NewProduct(workload.AllRange(6), workload.Identity(4)),
+		workload.NewProduct(workload.Prefix(6), workload.Total(4)),
+	)
+	ex := w.ExplicitMatrix()
+	m := float64(ex.Rows())
+	sens := mat.L1Norm(ex)
+	want := m * sens * sens
+	if got := LMErr(w); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("LMErr = %v want %v", got, want)
+	}
+}
+
+func TestLMErrMarginalsAgainstGeneral(t *testing.T) {
+	dom := schema.Sizes(3, 4, 2)
+	w := workload.KWayMarginals(dom, 2)
+	subsets, weights, ok := MarginalWorkloadSubsets(w)
+	if !ok {
+		t.Fatal("marginal extraction failed")
+	}
+	space := marginals.NewSpace(dom.AttrSizes())
+	got := LMErrMarginals(space, subsets, weights)
+	want := LMErr(w)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("LMErrMarginals = %v want %v", got, want)
+	}
+}
+
+func TestDataCubeAnswersEverything(t *testing.T) {
+	dom := schema.Sizes(4, 3, 5)
+	space := marginals.NewSpace(dom.AttrSizes())
+	w := workload.KWayMarginals(dom, 2)
+	subsets, weights, _ := MarginalWorkloadSubsets(w)
+	res := DataCube(space, subsets, weights)
+	if res.Err <= 0 || math.IsInf(res.Err, 1) {
+		t.Fatalf("DataCube err = %v", res.Err)
+	}
+	// Every workload marginal must be covered by a measured superset.
+	for _, s := range subsets {
+		covered := false
+		for _, m := range res.Measured {
+			if m&s == s {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Fatalf("subset %b not covered by %v", s, res.Measured)
+		}
+	}
+}
+
+func TestDataCubeAddsMarginalsWhenHelpful(t *testing.T) {
+	// For a 1-way workload over large attributes, measuring only the full
+	// table is terrible; greedy must add low-order marginals.
+	dom := schema.Sizes(20, 20, 20)
+	space := marginals.NewSpace(dom.AttrSizes())
+	w := workload.KWayMarginals(dom, 1)
+	subsets, weights, _ := MarginalWorkloadSubsets(w)
+	res := DataCube(space, subsets, weights)
+	if len(res.Measured) <= 1 {
+		t.Fatalf("greedy never added a marginal: %v", res.Measured)
+	}
+}
+
+func TestOPTGenGradient(t *testing.T) {
+	y := workload.Prefix(6).Gram()
+	obj := newOptGenObjective(y, 6, 6)
+	x := make([]float64, 36)
+	for i := range x {
+		x[i] = 0.3 + 0.1*float64(i%5)
+	}
+	if rel := optimize.CheckGradient(obj.eval, x, 1e-5); rel > 5e-3 {
+		t.Fatalf("OPTGen gradient rel error %v", rel)
+	}
+}
+
+func TestOPTGenObjectiveMatchesDense(t *testing.T) {
+	y := workload.AllRange(7).Gram()
+	obj := newOptGenObjective(y, 9, 7)
+	x := make([]float64, 63)
+	for i := range x {
+		x[i] = 0.2 + 0.05*float64(i%7)
+	}
+	got := obj.eval(x, nil)
+	// Dense: A = Θ·D.
+	theta := mat.FromData(9, 7, x)
+	a := normalizeColumns(theta)
+	g := mat.Gram(nil, a)
+	for i := 0; i < 7; i++ {
+		g.Set(i, i, g.At(i, i)+1e-8)
+	}
+	want, err := mat.TraceSolve(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("objective %v dense %v", got, want)
+	}
+}
+
+func TestOPTGenFindsReasonableStrategy(t *testing.T) {
+	n := 32
+	y := workload.AllRange(n).Gram()
+	res := OPTGen(y, OPTGenOptions{Seed: 1, MaxIter: 150, Restarts: 2})
+	id := mat.Trace(y)
+	if res.Err >= id {
+		t.Fatalf("OPTGen %v not better than Identity %v", res.Err, id)
+	}
+	// Sensitivity of the returned strategy is 1.
+	if s := mat.L1Norm(res.A); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("OPTGen strategy sensitivity %v", s)
+	}
+}

@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// OPTGenOptions controls the general-strategy optimizer.
+type OPTGenOptions struct {
+	Q        int // number of strategy rows (default n)
+	MaxIter  int // L-BFGS iterations (default 75)
+	Restarts int // default 1
+	Seed     uint64
+}
+
+// OPTGenResult is the outcome of a general-strategy optimization.
+type OPTGenResult struct {
+	A   *mat.Dense // q×n strategy with unit column norms (sensitivity 1)
+	Err float64    // tr((AᵀA)⁻¹·Y) at sensitivity 1
+}
+
+// OPTGen performs local gradient optimization over unstructured non-negative
+// strategies A = Θ·D with D = diag(1/colsum Θ) — the same column-normalizing
+// parameterization as OPT₀ but with no identity block, i.e. a search over
+// the general (dense) strategy space. Each iteration costs Θ(n³), matching
+// the computational profile of LRM/MM-style general-space search; this is
+// the comparator used for the LRM rows of Table 3 and Figure 1 (see the
+// substitution notes in DESIGN.md).
+func OPTGen(y *mat.Dense, opts OPTGenOptions) *OPTGenResult {
+	n := y.Rows()
+	if opts.Q <= 0 {
+		opts.Q = n
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 75
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 1
+	}
+	q := opts.Q
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x93e7))
+
+	obj := newOptGenObjective(y, q, n)
+	lb := make([]float64, q*n)
+	ub := make([]float64, q*n)
+	for i := range ub {
+		ub[i] = 1e4 // column normalization makes larger values redundant
+	}
+	var bestX []float64
+	bestF := math.Inf(1)
+	for r := 0; r < opts.Restarts; r++ {
+		x0 := make([]float64, q*n)
+		for i := range x0 {
+			x0[i] = rng.Float64()
+		}
+		res := optimize.MinimizeBox(obj.eval, x0, lb, ub, optimize.Options{MaxIter: opts.MaxIter})
+		if res.F < bestF {
+			bestF = res.F
+			bestX = res.X
+		}
+	}
+	theta := mat.FromData(q, n, bestX)
+	return &OPTGenResult{A: normalizeColumns(theta), Err: bestF}
+}
+
+// normalizeColumns returns Θ·D with unit L1 column norms.
+func normalizeColumns(theta *mat.Dense) *mat.Dense {
+	q, n := theta.Dims()
+	cols := make([]float64, n)
+	for k := 0; k < q; k++ {
+		row := theta.Row(k)
+		for j, v := range row {
+			cols[j] += math.Abs(v)
+		}
+	}
+	out := mat.NewDense(q, n)
+	for k := 0; k < q; k++ {
+		src, dst := theta.Row(k), out.Row(k)
+		for j, v := range src {
+			if cols[j] > 0 {
+				dst[j] = v / cols[j]
+			}
+		}
+	}
+	return out
+}
+
+type optGenObjective struct {
+	y     *mat.Dense
+	q, n  int
+	ridge float64
+}
+
+func newOptGenObjective(y *mat.Dense, q, n int) *optGenObjective {
+	return &optGenObjective{y: y, q: q, n: n, ridge: 1e-8}
+}
+
+// eval computes tr((AᵀA+ridge·I)⁻¹·Y) and its gradient with respect to Θ,
+// A = Θ·diag(1/colsum Θ). The ridge keeps the Cholesky factor alive when
+// the optimizer wanders near rank deficiency.
+func (o *optGenObjective) eval(x, grad []float64) float64 {
+	q, n := o.q, o.n
+	theta := mat.FromData(q, n, x)
+
+	cols := make([]float64, n)
+	for k := 0; k < q; k++ {
+		row := theta.Row(k)
+		for j, v := range row {
+			cols[j] += v
+		}
+	}
+	for j, v := range cols {
+		if v <= 1e-12 {
+			cols[j] = 1e-12
+		}
+	}
+	// A = Θ·D.
+	a := mat.NewDense(q, n)
+	for k := 0; k < q; k++ {
+		src, dst := theta.Row(k), a.Row(k)
+		for j, v := range src {
+			dst[j] = v / cols[j]
+		}
+	}
+	g := mat.Gram(nil, a)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+o.ridge)
+	}
+	ch, err := mat.NewCholesky(g)
+	if err != nil {
+		if grad != nil {
+			for i := range grad {
+				grad[i] = 0
+			}
+		}
+		return math.Inf(1)
+	}
+	xy := ch.SolveMat(o.y.Clone()) // X·Y
+	c := mat.Trace(xy)
+	if grad == nil {
+		return c
+	}
+	// Z = X·Y·X = X·(X·Y)ᵀ (X symmetric, result symmetric).
+	xy.TransposeInPlace()
+	z := ch.SolveMat(xy) // X·Y·X
+	// G_A = −2·A·Z; chain rule through D as in OPT₀ (no identity block).
+	ga := mat.Mul(nil, a, z)
+	ga.Scale(-2)
+	gm := mat.FromData(q, n, grad)
+	for l := 0; l < n; l++ {
+		dl := 1 / cols[l]
+		sl := 0.0
+		for k := 0; k < q; k++ {
+			sl += theta.At(k, l) * ga.At(k, l)
+		}
+		base := -dl * dl * sl
+		for k := 0; k < q; k++ {
+			gm.Set(k, l, base+dl*ga.At(k, l))
+		}
+	}
+	return c
+}

@@ -1,0 +1,42 @@
+package census
+
+import (
+	"testing"
+)
+
+func TestSF1Shape(t *testing.T) {
+	w := SF1()
+	if w.Domain.Size() != 500480 {
+		t.Fatalf("domain %d want 500480", w.Domain.Size())
+	}
+	if w.NumQueries() != 4151 {
+		t.Fatalf("queries %d want 4151", w.NumQueries())
+	}
+	if len(w.Products) != 32 {
+		t.Fatalf("products %d want 32", len(w.Products))
+	}
+}
+
+func TestSF1PlusShape(t *testing.T) {
+	w := SF1Plus()
+	if w.Domain.Size() != 25524480 {
+		t.Fatalf("domain %d want 25524480", w.Domain.Size())
+	}
+	if w.NumQueries() != 215852 {
+		t.Fatalf("queries %d want 215852", w.NumQueries())
+	}
+}
+
+func TestImplicitSizes(t *testing.T) {
+	// Example 7 reports the 32-product forms at a few hundred KB; make sure
+	// our implicit representation is in that ballpark (vs the 8.3GB dense).
+	w := SF1()
+	implicitBytes := w.ImplicitSize() * 8
+	if implicitBytes > 2<<20 {
+		t.Fatalf("implicit representation is %d bytes; expected well under 2MB", implicitBytes)
+	}
+	explicitBytes := int64(w.ExplicitSize()) * 8
+	if explicitBytes < 8<<30 {
+		t.Fatalf("explicit size should be ≥ 8GB, got %d", explicitBytes)
+	}
+}

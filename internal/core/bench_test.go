@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkOpt0Objective measures one O(p·n²) objective+gradient evaluation
+// at n=1024, p=64 (the Theorem 4 kernel, the hot loop of all of HDMM).
+func BenchmarkOpt0Objective(b *testing.B) {
+	n, p := 1024, 64
+	y := workload.AllRange(n).Gram()
+	obj := newOpt0Objective(y, p, n)
+	x := make([]float64, p*n)
+	for i := range x {
+		x[i] = 0.5
+	}
+	grad := make([]float64, p*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.eval(x, grad)
+	}
+}
+
+// BenchmarkOPT0Small measures a full OPT₀ run at n=256.
+func BenchmarkOPT0Small(b *testing.B) {
+	y := workload.AllRange(256).Gram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OPT0(y, OPT0Options{P: 16, Restarts: 1, Seed: uint64(i), MaxIter: 50})
+	}
+}
+
+// BenchmarkOPTMarg8D measures OPT_M on 2-way marginals over an 8-attribute
+// domain (the O(4^d) lattice path).
+func BenchmarkOPTMarg8D(b *testing.B) {
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	w := workload.KWayMarginals(schemaSizes(sizes...), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OPTMarg(w, OPTMargOptions{Seed: uint64(i), MaxIter: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/workload"
+)
+
+// HDMMOptions controls the OPT_HDMM driver (Algorithm 2).
+type HDMMOptions struct {
+	Restarts    int  // S in Algorithm 2 (default 5; the paper uses 25)
+	MaxMargDims int  // run OPT_M only up to this many attributes (default 14)
+	SkipKron    bool // disable individual operators (for ablations)
+	SkipPlus    bool
+	SkipMarg    bool
+	Kron        OPTKronOptions
+	Marg        OPTMargOptions
+	Seed        uint64
+}
+
+func (o HDMMOptions) withDefaults() HDMMOptions {
+	if o.Restarts <= 0 {
+		o.Restarts = 5
+	}
+	if o.MaxMargDims <= 0 {
+		o.MaxMargDims = 14
+	}
+	return o
+}
+
+// Selected is the outcome of strategy selection.
+type Selected struct {
+	Strategy Strategy
+	Err      float64 // ‖W·A⁺‖²_F at sensitivity 1 (2/ε² factor omitted)
+	Operator string  // which operator produced the winner
+}
+
+// Select runs OPT_HDMM (Algorithm 2): every enabled optimization operator is
+// run S times with random restarts and the lowest-error strategy wins. The
+// Identity strategy seeds the comparison so the result is never worse than
+// the trivial baseline. Selection never looks at the data, so it consumes no
+// privacy budget (Section 7.3).
+func Select(w *workload.Workload, opts HDMMOptions) (*Selected, error) {
+	opts = opts.withDefaults()
+	d := w.Domain.NumAttrs()
+
+	best := &Selected{
+		Strategy: &IdentityStrategy{N: w.Domain.Size()},
+		Err:      w.GramTrace(),
+		Operator: "Identity",
+	}
+
+	for s := 0; s < opts.Restarts; s++ {
+		seed := opts.Seed*1_000_003 + uint64(s)
+
+		if !opts.SkipKron {
+			kopts := opts.Kron
+			kopts.Seed = seed
+			strat, e, err := OPTKron(w, kopts)
+			if err == nil && e < best.Err {
+				best = &Selected{Strategy: strat, Err: e, Operator: "OPT⊗"}
+			}
+		}
+
+		if !opts.SkipPlus && len(w.Products) >= 2 {
+			popts := OPTPlusOptions{Kron: opts.Kron}
+			popts.Kron.Seed = seed + 17
+			strat, e, err := OPTPlus(w, popts)
+			if err == nil && e < best.Err {
+				best = &Selected{Strategy: strat, Err: e, Operator: "OPT+"}
+			}
+		}
+
+		if !opts.SkipMarg && d <= opts.MaxMargDims {
+			mopts := opts.Marg
+			mopts.Seed = seed + 43
+			strat, e, err := OPTMarg(w, mopts)
+			if err == nil && e < best.Err {
+				best = &Selected{Strategy: strat, Err: e, Operator: "OPT_M"}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/kron"
+	"repro/internal/marginals"
+	"repro/internal/mat"
+	"repro/internal/schema"
+)
+
+// spaceAlias keeps test call sites readable.
+type spaceAlias = marginals.Space
+
+func newSpaceAlias(dom *schema.Domain) *spaceAlias {
+	return marginals.NewSpace(dom.AttrSizes())
+}
+
+// explicitMarginalMatrix materializes M(θ) (weighted stack of all active
+// marginal query matrices) for dense comparisons in tests.
+func explicitMarginalMatrix(s *MarginalStrategy) *mat.Dense {
+	space := s.Space
+	var blocks []*mat.Dense
+	for a := 0; a < space.NumSubsets(); a++ {
+		if s.Theta[a] <= 1e-12 {
+			continue
+		}
+		factors := make([]*mat.Dense, space.D())
+		for i := 0; i < space.D(); i++ {
+			n := space.Sizes()[i]
+			if a&(1<<uint(i)) != 0 {
+				factors[i] = mat.Eye(n)
+			} else {
+				factors[i] = mat.Ones(1, n)
+			}
+		}
+		blk := kron.NewProduct(factors...).Explicit()
+		blk.Scale(s.Theta[a])
+		blocks = append(blocks, blk)
+	}
+	return mat.VStack(blocks...)
+}
+
+// schemaSizes builds a domain from sizes (benchmark helper).
+func schemaSizes(sizes ...int) *schema.Domain { return schema.Sizes(sizes...) }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+// OPT0Options controls the OPT₀ optimizer.
+type OPT0Options struct {
+	P        int     // number of extra rows p (default n/16, min 1)
+	Restarts int     // random restarts (default 1; Algorithm 2 loops outside)
+	MaxIter  int     // L-BFGS iterations per restart (default 150)
+	Tol      float64 // relative improvement tolerance (default 1e-7)
+	Seed     uint64  // RNG seed for initialization
+}
+
+func (o OPT0Options) withDefaults(n int) OPT0Options {
+	if o.P <= 0 {
+		o.P = n / 16
+		if o.P < 1 {
+			o.P = 1
+		}
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 150
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// OPT0 solves Problem 2: it searches over p-Identity strategies A(Θ) for one
+// minimizing ‖W·A⁺‖²_F = tr((AᵀA)⁻¹·WᵀW), taking the workload only through
+// its Gram matrix Y = WᵀW (n×n). It returns the best strategy found and its
+// objective value. Cost per iteration is O(p·n²) (Theorem 4).
+func OPT0(y *mat.Dense, opts OPT0Options) (*PIdentity, float64) {
+	n := y.Rows()
+	opts = opts.withDefaults(n)
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x0937))
+
+	best := identityPIdentity(n)
+	bestErr := mat.Trace(y) // Identity strategy error as the baseline
+	for r := 0; r < opts.Restarts; r++ {
+		theta := mat.NewDense(opts.P, n)
+		td := theta.Data()
+		for i := range td {
+			td[i] = rng.Float64()
+		}
+		s, e := opt0From(y, theta, opts)
+		if e < bestErr {
+			best, bestErr = s, e
+		}
+	}
+	return best, bestErr
+}
+
+// opt0From runs a single L-BFGS descent from the given Θ initialization.
+// It is also used by OPT⊗'s block-cyclic updates for warm starts.
+// thetaCap bounds the p-Identity parameters. The objective is flat as any
+// θ → ∞ (the identity rows' weight saturates at 0), and letting the line
+// search run down that valley destroys the Woodbury inverse numerically;
+// at 1e4 the strategy is within 1e-4 of the saturated one while (AᵀA)⁻¹
+// keeps ~8 accurate digits.
+const thetaCap = 1e4
+
+func opt0From(y *mat.Dense, theta0 *mat.Dense, opts OPT0Options) (*PIdentity, float64) {
+	p, n := theta0.Dims()
+	obj := newOpt0Objective(y, p, n)
+	lb := make([]float64, p*n) // Θ >= 0
+	ub := make([]float64, p*n)
+	for i := range ub {
+		ub[i] = thetaCap
+	}
+	res := optimize.MinimizeBox(obj.eval, theta0.Data(), lb, ub, optimize.Options{
+		MaxIter: opts.MaxIter,
+		Tol:     opts.Tol,
+	})
+	theta := mat.FromData(p, n, res.X)
+	checkNonNegative(theta)
+	return NewPIdentity(theta), res.F
+}
+
+// NewOpt0ObjectiveForTrace exposes the raw OPT₀ objective/gradient closure
+// for instrumented runs (the error-vs-time trajectories of Figure 5).
+func NewOpt0ObjectiveForTrace(y *mat.Dense, p int) func(x, grad []float64) float64 {
+	obj := newOpt0Objective(y, p, y.Rows())
+	return obj.eval
+}
+
+// opt0Objective evaluates C(A(Θ)) = tr((AᵀA)⁻¹·Y) and ∂C/∂Θ in O(pn²)
+// using the Woodbury structure of Appendix A.3, with buffers reused across
+// iterations.
+type opt0Objective struct {
+	y    *mat.Dense // n×n workload Gram
+	p, n int
+
+	m    *mat.Dense // p×p: I + ΘΘᵀ
+	u    *mat.Dense // p×n: Θ·S
+	v    *mat.Dense // p×n: U·Y
+	p2   *mat.Dense // p×p: V·Uᵀ
+	z    *mat.Dense // n×n: X·Y·X
+	nn   *mat.Dense // n×n workspace
+	pn   *mat.Dense // p×n workspace
+	pn2  *mat.Dense // p×n workspace
+	cols []float64  // colsum_j = 1/d_j
+}
+
+func newOpt0Objective(y *mat.Dense, p, n int) *opt0Objective {
+	return &opt0Objective{
+		y: y, p: p, n: n,
+		m:    mat.NewDense(p, p),
+		u:    mat.NewDense(p, n),
+		v:    mat.NewDense(p, n),
+		p2:   mat.NewDense(p, p),
+		z:    mat.NewDense(n, n),
+		nn:   mat.NewDense(n, n),
+		pn:   mat.NewDense(p, n),
+		pn2:  mat.NewDense(p, n),
+		cols: make([]float64, n),
+	}
+}
+
+// leftX overwrites q with X·q where X = (AᵀA)⁻¹ = S·B·S,
+// B = I − Θᵀ·M⁻¹·Θ, S = diag(cols). O(p·n²).
+func (o *opt0Objective) leftX(ch *mat.Cholesky, theta *mat.Dense, q *mat.Dense) {
+	n := o.n
+	cols := o.cols
+	// q ← S·q.
+	for i := 0; i < n; i++ {
+		si := cols[i]
+		row := q.Row(i)
+		for j := range row {
+			row[j] *= si
+		}
+	}
+	// q ← q − Θᵀ·M⁻¹·Θ·q.
+	mat.Mul(o.pn, theta, q)
+	ch.SolveMat(o.pn)
+	mat.MulTN(o.nn, theta, o.pn)
+	q.Sub(o.nn)
+	// q ← S·q.
+	for i := 0; i < n; i++ {
+		si := cols[i]
+		row := q.Row(i)
+		for j := range row {
+			row[j] *= si
+		}
+	}
+}
+
+// eval computes the objective and, if grad is non-nil, the gradient.
+//
+// Derivation. With S = diag(colsum), B = I − Θᵀ·M⁻¹·Θ, M = I_p + ΘΘᵀ:
+//
+//	X  := (AᵀA)⁻¹ = S·B·S
+//	C   = tr(X·Y) = tr(S²·Y) − tr(M⁻¹·(ΘS)·Y·(ΘS)ᵀ)
+//	∂C/∂A = −2·A·X·Y·X =: G_A
+//	∂C/∂Θ[k,l] = −d_l²·(G_A[l,l] + Σ_k' Θ[k',l]·G_A[n+k',l]) + d_l·G_A[n+k,l]
+//
+// The last line applies the chain rule through the column normalizer D
+// (every Θ entry in column l perturbs d_l = 1/colsum_l).
+func (o *opt0Objective) eval(x, grad []float64) float64 {
+	p, n := o.p, o.n
+	theta := mat.FromData(p, n, x)
+
+	cols := o.cols
+	for j := range cols {
+		cols[j] = 1
+	}
+	for k := 0; k < p; k++ {
+		row := theta.Row(k)
+		for j, v := range row {
+			cols[j] += v
+		}
+	}
+
+	// M = I + ΘΘᵀ, factor once.
+	mat.MulNT(o.m, theta, theta)
+	for i := 0; i < p; i++ {
+		o.m.Set(i, i, o.m.At(i, i)+1)
+	}
+	ch, err := mat.NewCholesky(o.m)
+	if err != nil {
+		if grad != nil {
+			for i := range grad {
+				grad[i] = 0
+			}
+		}
+		return math.Inf(1)
+	}
+
+	// Objective: C = Σ_j colsum_j²·Y_jj − tr(M⁻¹·(ΘS)·Y·(ΘS)ᵀ).
+	for k := 0; k < p; k++ {
+		src := theta.Row(k)
+		dst := o.u.Row(k)
+		for j, v := range src {
+			dst[j] = v * cols[j]
+		}
+	}
+	mat.Mul(o.v, o.u, o.y)
+	mat.MulNT(o.p2, o.v, o.u)
+	c := 0.0
+	for j := 0; j < n; j++ {
+		c += cols[j] * cols[j] * o.y.At(j, j)
+	}
+	c -= mat.Trace(ch.SolveMat(o.p2))
+
+	if grad == nil {
+		return c
+	}
+
+	// Z = X·Y·X. X is symmetric, so Z = X·(X·Y)ᵀ and Z is symmetric.
+	o.z.CopyFrom(o.y)
+	o.leftX(ch, theta, o.z) // Z = X·Y
+	o.z.TransposeInPlace()  // Z = Y·X
+	o.leftX(ch, theta, o.z) // Z = X·Y·X
+
+	// gtop[l] = G_A[l,l] = −2·d_l·Z[l,l] (top block of A is D).
+	// Gbot = −2·Θ·(D·Z) (bottom block of A is Θ·D).
+	for i := 0; i < n; i++ {
+		di := 1 / cols[i]
+		row := o.z.Row(i)
+		for j := range row {
+			row[j] *= di
+		}
+	}
+	// o.z now holds D·Z; its diagonal gives gtop via d_l·Z[l,l] = (DZ)[l,l].
+	mat.Mul(o.pn2, theta, o.z) // Θ·(D·Z); Gbot = −2·this
+
+	g := mat.FromData(p, n, grad)
+	for l := 0; l < n; l++ {
+		dl := 1 / cols[l]
+		gtop := -2 * o.z.At(l, l)
+		sl := 0.0
+		for k := 0; k < p; k++ {
+			sl += theta.At(k, l) * (-2 * o.pn2.At(k, l))
+		}
+		base := -dl * dl * (gtop + sl)
+		for k := 0; k < p; k++ {
+			g.Set(k, l, base+dl*(-2*o.pn2.At(k, l)))
+		}
+	}
+	return c
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/optimize"
+	"repro/internal/workload"
+)
+
+// bruteErr computes tr((AᵀA)⁻¹·Y) densely from the explicit strategy.
+func bruteErr(t *testing.T, s *PIdentity, y *mat.Dense) float64 {
+	t.Helper()
+	g := mat.Gram(nil, s.Matrix())
+	v, err := mat.TraceSolve(g, y)
+	if err != nil {
+		t.Fatalf("brute: %v", err)
+	}
+	return v
+}
+
+func TestPIdentityMatrixStructure(t *testing.T) {
+	theta := mat.FromRows([][]float64{{1, 2, 3}, {1, 1, 1}})
+	s := NewPIdentity(theta)
+	a := s.Matrix()
+	// Example 8 from the paper.
+	want := mat.FromRows([][]float64{
+		{1.0 / 3, 0, 0},
+		{0, 0.25, 0},
+		{0, 0, 0.2},
+		{1.0 / 3, 0.5, 0.6},
+		{1.0 / 3, 0.25, 0.2},
+	})
+	if !mat.Equalish(a, want, 1e-12) {
+		t.Fatalf("A(Θ) structure wrong:\n%v", a.Data())
+	}
+	// Sensitivity exactly 1.
+	if got := mat.L1Norm(a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("‖A‖₁ = %v want 1", got)
+	}
+}
+
+func TestGramInvAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, dims := range [][2]int{{1, 4}, {3, 8}, {5, 16}} {
+		p, n := dims[0], dims[1]
+		theta := mat.NewDense(p, n)
+		td := theta.Data()
+		for i := range td {
+			td[i] = rng.Float64() * 2
+		}
+		s := NewPIdentity(theta)
+		gi, err := s.GramInv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := mat.Gram(nil, s.Matrix())
+		if !mat.Equalish(mat.Mul(nil, gi, g), mat.Eye(n), 1e-8) {
+			t.Fatalf("GramInv wrong for p=%d n=%d", p, n)
+		}
+	}
+}
+
+func TestOpt0ObjectiveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n, p := 12, 3
+	y := workload.AllRange(n).Gram()
+	obj := newOpt0Objective(y, p, n)
+	x := make([]float64, p*n)
+	for i := range x {
+		x[i] = 0.1 + rng.Float64()
+	}
+	got := obj.eval(x, nil)
+	s := NewPIdentity(mat.FromData(p, n, append([]float64(nil), x...)))
+	want := bruteErr(t, s, y)
+	if math.Abs(got-want) > 1e-8*(1+want) {
+		t.Fatalf("objective = %v want %v", got, want)
+	}
+}
+
+func TestOpt0GradientFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, dims := range [][2]int{{1, 5}, {2, 8}, {4, 10}} {
+		p, n := dims[0], dims[1]
+		y := workload.Prefix(n).Gram()
+		obj := newOpt0Objective(y, p, n)
+		x := make([]float64, p*n)
+		for i := range x {
+			x[i] = 0.2 + rng.Float64()
+		}
+		if rel := optimize.CheckGradient(obj.eval, x, 1e-6); rel > 1e-4 {
+			t.Fatalf("p=%d n=%d: gradient relative error %v", p, n, rel)
+		}
+	}
+}
+
+func TestOPT0BeatsIdentityOnRanges(t *testing.T) {
+	n := 64
+	y := workload.AllRange(n).Gram()
+	identityErr := mat.Trace(y)
+	s, e := OPT0(y, OPT0Options{P: 4, Seed: 7, MaxIter: 300, Restarts: 3})
+	if e >= identityErr {
+		t.Fatalf("OPT0 error %v not better than Identity %v", e, identityErr)
+	}
+	// Reported error must match the strategy's actual error.
+	actual := bruteErr(t, s, y)
+	if math.Abs(actual-e) > 1e-6*(1+e) {
+		t.Fatalf("reported error %v != actual %v", e, actual)
+	}
+	// Meaningful improvement over Identity on all-range queries.
+	if identityErr/e < 1.3 {
+		t.Fatalf("improvement only %v×", identityErr/e)
+	}
+}
+
+func TestOPT0IdentityWorkloadFallsBack(t *testing.T) {
+	// For the Identity workload, the Identity strategy is optimal; OPT0 must
+	// never return something worse.
+	n := 16
+	y := workload.Identity(n).Gram()
+	_, e := OPT0(y, OPT0Options{P: 2, Seed: 1, MaxIter: 100})
+	if e > float64(n)+1e-6 {
+		t.Fatalf("OPT0 error %v on Identity workload exceeds Identity strategy %v", e, float64(n))
+	}
+}
+
+func TestOPT0SupportsWorkload(t *testing.T) {
+	// The support condition W·A⁺·A == W must hold for p-Identity strategies.
+	n := 8
+	w := workload.Prefix(n).Matrix()
+	y := mat.Gram(nil, w)
+	s, _ := OPT0(y, OPT0Options{P: 2, Seed: 5, MaxIter: 100})
+	a := s.Matrix()
+	ap, err := mat.Pinv(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wapa := mat.Mul(nil, mat.Mul(nil, w, ap), a)
+	if !mat.Equalish(wapa, w, 1e-8) {
+		t.Fatal("W·A⁺·A != W")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+// OPTKronOptions controls OPT⊗ (Definition 10 / Problem 3).
+type OPTKronOptions struct {
+	P        []int   // per-attribute p; nil selects the Section 7.1 convention
+	Restarts int     // random restarts (default 1)
+	MaxIter  int     // per-OPT0-call iteration cap (default 150)
+	Cycles   int     // block-coordinate sweeps for unions (default 6)
+	Tol      float64 // relative improvement tolerance across cycles (default 1e-4)
+	Seed     uint64
+}
+
+func (o OPTKronOptions) withDefaults(w *workload.Workload) OPTKronOptions {
+	if o.P == nil {
+		o.P = DefaultP(w)
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 150
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 6
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+// DefaultP applies the paper's convention (Section 7.1): p=1 for attributes
+// whose predicate sets are all within T ∪ I, otherwise p = nᵢ/16 (min 1).
+func DefaultP(w *workload.Workload) []int {
+	d := w.Domain.NumAttrs()
+	ps := make([]int, d)
+	for i := 0; i < d; i++ {
+		simple := true
+		for _, prod := range w.Products {
+			if !workload.IsTotalOrIdentity(prod.Terms[i]) {
+				simple = false
+				break
+			}
+		}
+		if simple {
+			ps[i] = 1
+		} else {
+			ps[i] = w.Domain.Attr(i).Size / 16
+			if ps[i] < 1 {
+				ps[i] = 1
+			}
+		}
+	}
+	return ps
+}
+
+// OPTKron solves Problem 3: it finds a single product strategy
+// A = A(Θ₁)⊗···⊗A(Θ_d) minimizing Σⱼ wⱼ²·∏ᵢ‖Wᵢ⁽ʲ⁾·Aᵢ⁺‖²_F for a union-of-
+// products workload, by block-cyclically optimizing one attribute at a time
+// against the surrogate workload of Equation 6. For k=1 the blocks decouple
+// and a single sweep of independent OPT0 calls is exact (Definition 10 and
+// Theorem 5).
+func OPTKron(w *workload.Workload, opts OPTKronOptions) (*KronStrategy, float64, error) {
+	opts = opts.withDefaults(w)
+	d := w.Domain.NumAttrs()
+	k := len(w.Products)
+	if k == 0 {
+		return nil, 0, nil
+	}
+
+	// Precompute the per-attribute Grams Gᵢⱼ (cached inside predicate sets).
+	grams := make([][]*mat.Dense, d) // [attr][product]
+	for i := 0; i < d; i++ {
+		grams[i] = make([]*mat.Dense, k)
+		for j, p := range w.Products {
+			grams[i][j] = p.Terms[i].Gram()
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x0b70))
+	var best *KronStrategy
+	bestErr := math.Inf(1)
+	for r := 0; r < opts.Restarts; r++ {
+		s, e, err := optKronOnce(w, grams, opts, rng.Uint64())
+		if err != nil {
+			return nil, 0, err
+		}
+		if e < bestErr {
+			best, bestErr = s, e
+		}
+	}
+	return best, bestErr, nil
+}
+
+func optKronOnce(w *workload.Workload, grams [][]*mat.Dense, opts OPTKronOptions, seed uint64) (*KronStrategy, float64, error) {
+	d := w.Domain.NumAttrs()
+	k := len(w.Products)
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+
+	// Random initialization of every attribute's Θ.
+	subs := make([]*PIdentity, d)
+	for i := 0; i < d; i++ {
+		n := w.Domain.Attr(i).Size
+		theta := mat.NewDense(opts.P[i], n)
+		td := theta.Data()
+		for t := range td {
+			td[t] = rng.Float64()
+		}
+		subs[i] = NewPIdentity(theta)
+	}
+
+	// e[i][j] = tr((AᵢᵀAᵢ)⁻¹·Gᵢⱼ), maintained across block updates.
+	errs := make([][]float64, d)
+	for i := 0; i < d; i++ {
+		gi, err := subs[i].GramInv()
+		if err != nil {
+			return nil, 0, err
+		}
+		errs[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			errs[i][j] = mat.TraceMul(gi, grams[i][j])
+		}
+	}
+	totalErr := func() float64 {
+		total := 0.0
+		for j, p := range w.Products {
+			term := p.Weight * p.Weight
+			for i := 0; i < d; i++ {
+				term *= errs[i][j]
+			}
+			total += term
+		}
+		return total
+	}
+
+	cycles := opts.Cycles
+	if k == 1 {
+		cycles = 1 // blocks decouple exactly
+	}
+	prev := totalErr()
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < d; i++ {
+			// Surrogate Gram Ŷᵢ = Σⱼ cⱼ²·Gᵢⱼ with cⱼ² = wⱼ²·∏_{i'≠i} e[i'][j]
+			// (Equation 6): optimizing Aᵢ against Ŷᵢ optimizes the true
+			// coupled objective with all other blocks fixed.
+			n := w.Domain.Attr(i).Size
+			yHat := mat.NewDense(n, n)
+			for j, p := range w.Products {
+				c2 := p.Weight * p.Weight
+				for i2 := 0; i2 < d; i2++ {
+					if i2 != i {
+						c2 *= errs[i2][j]
+					}
+				}
+				yHat.AddScaled(c2, grams[i][j])
+			}
+			sub, _ := opt0From(yHat, subs[i].Theta.Clone(), OPT0Options{MaxIter: opts.MaxIter})
+			// Keep the update only if it improves this block.
+			gi, err := sub.GramInv()
+			if err != nil {
+				continue
+			}
+			newErrs := make([]float64, k)
+			improvedObj := 0.0
+			oldObj := 0.0
+			for j := 0; j < k; j++ {
+				newErrs[j] = mat.TraceMul(gi, grams[i][j])
+				c2 := w.Products[j].Weight * w.Products[j].Weight
+				for i2 := 0; i2 < d; i2++ {
+					if i2 != i {
+						c2 *= errs[i2][j]
+					}
+				}
+				improvedObj += c2 * newErrs[j]
+				oldObj += c2 * errs[i][j]
+			}
+			if improvedObj < oldObj {
+				subs[i] = sub
+				errs[i] = newErrs
+			}
+		}
+		cur := totalErr()
+		if prev-cur < opts.Tol*math.Max(1, prev) {
+			break
+		}
+		prev = cur
+	}
+	return NewKronStrategy(subs...), totalErr(), nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// OPTPlusOptions controls OPT⁺ (Definition 11).
+type OPTPlusOptions struct {
+	Groups [][]int // partition of product indices; nil selects a default
+	Kron   OPTKronOptions
+}
+
+// DefaultGroups implements the paper's g function: it partitions the union
+// terms into (up to) two groups. Products are grouped by the pattern of
+// which attributes carry a non-trivial (non-Total) predicate set, so that
+// e.g. [R⊗T; T⊗R] splits into its two natural pieces; patterns beyond two
+// are merged into the nearest group by Hamming distance of the pattern.
+func DefaultGroups(w *workload.Workload, maxGroups int) [][]int {
+	if maxGroups <= 0 {
+		maxGroups = 2
+	}
+	type pat struct {
+		mask uint
+		idx  []int
+	}
+	var pats []pat
+	for j, p := range w.Products {
+		var mask uint
+		for i, t := range p.Terms {
+			if _, isTotal := interfaceIsTotal(t); !isTotal {
+				mask |= 1 << uint(i)
+			}
+		}
+		found := false
+		for pi := range pats {
+			if pats[pi].mask == mask {
+				pats[pi].idx = append(pats[pi].idx, j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			pats = append(pats, pat{mask: mask, idx: []int{j}})
+		}
+	}
+	// Merge smallest-distance patterns until at most maxGroups remain.
+	for len(pats) > maxGroups {
+		bi, bj, bd := 0, 1, 1<<30
+		for i := 0; i < len(pats); i++ {
+			for j := i + 1; j < len(pats); j++ {
+				if d := popcount(pats[i].mask ^ pats[j].mask); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		pats[bi].idx = append(pats[bi].idx, pats[bj].idx...)
+		pats[bi].mask |= pats[bj].mask
+		pats = append(pats[:bj], pats[bj+1:]...)
+	}
+	groups := make([][]int, len(pats))
+	for i, p := range pats {
+		groups[i] = p.idx
+	}
+	return groups
+}
+
+func interfaceIsTotal(ps workload.PredicateSet) (workload.PredicateSet, bool) {
+	return ps, ps.Rows() == 1 && workload.IsTotalOrIdentity(ps)
+}
+
+func popcount(x uint) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// OPTPlus implements Definition 11: it partitions the workload's products
+// into groups, runs OPT⊗ on each group, and returns a union-of-products
+// strategy. The privacy budget is split across blocks with the error-optimal
+// shares βg ∝ Err_g^{1/3}.
+func OPTPlus(w *workload.Workload, opts OPTPlusOptions) (*UnionStrategy, float64, error) {
+	groups := opts.Groups
+	if groups == nil {
+		groups = DefaultGroups(w, 2)
+	}
+	if len(groups) == 0 {
+		return nil, 0, fmt.Errorf("core: OPT+ requires at least one group")
+	}
+	parts := make([]*KronStrategy, len(groups))
+	groupErrs := make([]float64, len(groups))
+	for g, idx := range groups {
+		sub := &workload.Workload{Domain: w.Domain}
+		for _, j := range idx {
+			if j < 0 || j >= len(w.Products) {
+				return nil, 0, fmt.Errorf("core: OPT+ group %d references product %d out of range", g, j)
+			}
+			sub.Products = append(sub.Products, w.Products[j])
+		}
+		kopts := opts.Kron
+		kopts.Seed = opts.Kron.Seed*1000003 + uint64(g)
+		s, e, err := OPTKron(sub, kopts)
+		if err != nil {
+			return nil, 0, err
+		}
+		parts[g] = s
+		groupErrs[g] = e
+	}
+	shares := OptimalShares(groupErrs)
+	total := 0.0
+	for g, e := range groupErrs {
+		total += e / (shares[g] * shares[g])
+	}
+	if math.IsNaN(total) {
+		return nil, 0, fmt.Errorf("core: OPT+ produced NaN error")
+	}
+	return &UnionStrategy{Parts: parts, Shares: shares, Groups: groups}, total, nil
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's primary contribution: the HDMM
+// strategy-selection operators OPT₀ (Section 5), OPT⊗ and OPT⁺ (Section 6.2),
+// OPT_M (Section 6.3), the OPT_HDMM driver (Section 7.1), the strategy types
+// they produce, and exact expected-error evaluation for each (Definitions 7,
+// Theorems 5–6).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// PIdentity is the p-Identity strategy A(Θ) = [I; Θ]·D of Definition 9,
+// where D = diag(1_N + 1_p·Θ)⁻¹ normalizes every column's L1 norm to 1, so
+// the strategy always has sensitivity exactly 1 and supports every workload.
+type PIdentity struct {
+	Theta *mat.Dense // p×n, non-negative
+}
+
+// NewPIdentity wraps a non-negative parameter matrix.
+func NewPIdentity(theta *mat.Dense) *PIdentity {
+	return &PIdentity{Theta: theta}
+}
+
+// P returns the number of extra (non-identity) queries.
+func (s *PIdentity) P() int { return s.Theta.Rows() }
+
+// N returns the domain size.
+func (s *PIdentity) N() int { return s.Theta.Cols() }
+
+// ColScales returns the diagonal of D: d_j = 1/(1 + Σ_k Θ[k,j]).
+func (s *PIdentity) ColScales() []float64 {
+	p, n := s.Theta.Dims()
+	d := make([]float64, n)
+	for j := range d {
+		d[j] = 1
+	}
+	for k := 0; k < p; k++ {
+		row := s.Theta.Row(k)
+		for j, v := range row {
+			d[j] += v
+		}
+	}
+	for j := range d {
+		d[j] = 1 / d[j]
+	}
+	return d
+}
+
+// Matrix materializes the (n+p)×n strategy matrix A(Θ).
+func (s *PIdentity) Matrix() *mat.Dense {
+	p, n := s.Theta.Dims()
+	d := s.ColScales()
+	a := mat.NewDense(n+p, n)
+	for j := 0; j < n; j++ {
+		a.Set(j, j, d[j])
+	}
+	for k := 0; k < p; k++ {
+		src := s.Theta.Row(k)
+		dst := a.Row(n + k)
+		for j, v := range src {
+			dst[j] = v * d[j]
+		}
+	}
+	return a
+}
+
+// Sensitivity is 1 by construction.
+func (s *PIdentity) Sensitivity() float64 { return 1 }
+
+// GramInv returns (AᵀA)⁻¹ computed via the Woodbury identity
+// (Appendix A.3): (AᵀA)⁻¹ = D⁻¹·(I − Θᵀ(I_p+ΘΘᵀ)⁻¹Θ)·D⁻¹, in O(pn²).
+func (s *PIdentity) GramInv() (*mat.Dense, error) {
+	p, n := s.Theta.Dims()
+	// M = I_p + ΘΘᵀ.
+	m := mat.MulNT(nil, s.Theta, s.Theta)
+	for i := 0; i < p; i++ {
+		m.Set(i, i, m.At(i, i)+1)
+	}
+	ch, err := mat.NewCholesky(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: p-Identity Gram not invertible: %w", err)
+	}
+	// B = I − Θᵀ·M⁻¹·Θ.
+	minvTheta := ch.SolveMat(s.Theta.Clone()) // p×n
+	b := mat.MulTN(nil, s.Theta, minvTheta)   // n×n = ΘᵀM⁻¹Θ
+	b.Scale(-1)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, b.At(i, i)+1)
+	}
+	// X = S·B·S with S = D⁻¹ = diag(1/d).
+	d := s.ColScales()
+	for i := 0; i < n; i++ {
+		si := 1 / d[i]
+		row := b.Row(i)
+		for j := range row {
+			row[j] *= si / d[j]
+		}
+	}
+	return b, nil
+}
+
+// Pinv returns the pseudo-inverse A⁺ = (AᵀA)⁻¹Aᵀ as an explicit n×(n+p)
+// matrix, used for reconstruction of product strategies.
+func (s *PIdentity) Pinv() (*mat.Dense, error) {
+	gi, err := s.GramInv()
+	if err != nil {
+		return nil, err
+	}
+	return mat.MulNT(nil, gi, s.Matrix()), nil
+}
+
+// TraceErr returns tr((AᵀA)⁻¹·Y): the expected total squared error (up to
+// the 2/ε² factor) of answering a workload with Gram Y from this strategy.
+func (s *PIdentity) TraceErr(y *mat.Dense) (float64, error) {
+	gi, err := s.GramInv()
+	if err != nil {
+		return 0, err
+	}
+	return mat.TraceMul(gi, y), nil
+}
+
+// identityPIdentity returns the degenerate strategy with p rows of zeros,
+// i.e. the Identity strategy (used as a safe fallback).
+func identityPIdentity(n int) *PIdentity {
+	return NewPIdentity(mat.NewDense(1, n))
+}
+
+// checkNonNegative panics if Θ has negative entries (programming error).
+func checkNonNegative(theta *mat.Dense) {
+	for _, v := range theta.Data() {
+		if v < 0 || math.IsNaN(v) {
+			panic("core: p-Identity parameters must be non-negative")
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kron"
+	"repro/internal/lsmr"
+	"repro/internal/marginals"
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+// Strategy is a measurement strategy selected by one of the HDMM operators.
+// Every strategy is normalized to sensitivity 1, so the Laplace mechanism
+// adds noise with scale exactly 1/ε to its query answers, and Error reports
+// ‖W·A⁺‖²_F — the expected total squared error of the workload at ε=1 up to
+// the constant factor 2 (Definition 7).
+type Strategy interface {
+	// Operator returns the implicit measurement matrix.
+	Operator() kron.Linear
+	// Sensitivity returns ‖A‖₁ (1 for all built-in strategies).
+	Sensitivity() float64
+	// Error returns the expected total squared error ‖A‖₁²·‖W·A⁺‖²_F of
+	// answering w from this strategy.
+	Error(w *workload.Workload) (float64, error)
+	// Reconstruct performs the least-squares inference x̂ = A⁺·y.
+	Reconstruct(y []float64) ([]float64, error)
+	// Name identifies the producing operator for diagnostics.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// KronStrategy: single Kronecker product of p-Identity strategies (OPT⊗)
+// ---------------------------------------------------------------------------
+
+// KronStrategy is the output of OPT⊗: A = A(Θ₁) ⊗ ··· ⊗ A(Θ_d).
+type KronStrategy struct {
+	Subs []*PIdentity
+
+	gramInvs []*mat.Dense // cached (AᵢᵀAᵢ)⁻¹
+}
+
+// NewKronStrategy wraps per-attribute p-Identity strategies.
+func NewKronStrategy(subs ...*PIdentity) *KronStrategy {
+	if len(subs) == 0 {
+		panic("core: empty Kron strategy")
+	}
+	return &KronStrategy{Subs: subs}
+}
+
+// Name implements Strategy.
+func (s *KronStrategy) Name() string { return "OPT⊗" }
+
+// Sensitivity is 1: each factor has sensitivity 1 and Theorem 3 multiplies.
+func (s *KronStrategy) Sensitivity() float64 { return 1 }
+
+// Operator materializes the per-attribute strategy matrices (each only
+// (nᵢ+pᵢ)×nᵢ) into an implicit Kronecker product.
+func (s *KronStrategy) Operator() kron.Linear {
+	factors := make([]*mat.Dense, len(s.Subs))
+	for i, sub := range s.Subs {
+		factors[i] = sub.Matrix()
+	}
+	return kron.NewProduct(factors...)
+}
+
+// GramInvs returns the cached per-factor (AᵀA)⁻¹ matrices.
+func (s *KronStrategy) GramInvs() ([]*mat.Dense, error) {
+	if s.gramInvs == nil {
+		gi := make([]*mat.Dense, len(s.Subs))
+		for i, sub := range s.Subs {
+			g, err := sub.GramInv()
+			if err != nil {
+				return nil, err
+			}
+			gi[i] = g
+		}
+		s.gramInvs = gi
+	}
+	return s.gramInvs, nil
+}
+
+// Error implements Theorem 6: for W = Σⱼ wⱼ·W₁⁽ʲ⁾⊗···⊗W_d⁽ʲ⁾ and product
+// strategy A, ‖W·A⁺‖²_F = Σⱼ wⱼ²·∏ᵢ tr((AᵢᵀAᵢ)⁻¹·Gᵢⱼ).
+func (s *KronStrategy) Error(w *workload.Workload) (float64, error) {
+	if len(w.Products) == 0 {
+		return 0, nil
+	}
+	if len(w.Products[0].Terms) != len(s.Subs) {
+		return 0, fmt.Errorf("core: strategy has %d factors, workload has %d attributes", len(s.Subs), len(w.Products[0].Terms))
+	}
+	gi, err := s.GramInvs()
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, p := range w.Products {
+		term := p.Weight * p.Weight
+		for i, t := range p.Terms {
+			term *= mat.TraceMul(gi[i], t.Gram())
+		}
+		total += term
+	}
+	return total, nil
+}
+
+// Reconstruct computes x̂ = A⁺·y = (A₁⁺⊗···⊗A_d⁺)·y using the per-factor
+// pseudo-inverse identity of Section 4.4 and the kmatvec algorithm.
+func (s *KronStrategy) Reconstruct(y []float64) ([]float64, error) {
+	factors := make([]*mat.Dense, len(s.Subs))
+	for i, sub := range s.Subs {
+		p, err := sub.Pinv()
+		if err != nil {
+			return nil, err
+		}
+		factors[i] = p
+	}
+	op := kron.NewProduct(factors...)
+	r, _ := op.Dims()
+	out := make([]float64, r)
+	op.MatVec(out, y)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// UnionStrategy: union of Kronecker products (OPT⁺)
+// ---------------------------------------------------------------------------
+
+// UnionStrategy is the output of OPT⁺: a stack of product strategies, block
+// g scaled by budget share βg (Σβ = 1, so total sensitivity stays 1). Each
+// group of workload products is reconstructed from its own block.
+type UnionStrategy struct {
+	Parts  []*KronStrategy
+	Shares []float64
+	Groups [][]int // workload product indices answered by each part
+}
+
+// Name implements Strategy.
+func (s *UnionStrategy) Name() string { return "OPT+" }
+
+// Sensitivity is Σ βg·1 = 1.
+func (s *UnionStrategy) Sensitivity() float64 { return 1 }
+
+// Operator returns the scaled stack.
+func (s *UnionStrategy) Operator() kron.Linear {
+	blocks := make([]kron.Linear, len(s.Parts))
+	for i, p := range s.Parts {
+		blocks[i] = p.Operator()
+	}
+	return kron.NewStack(blocks, s.Shares)
+}
+
+// Error sums per-group errors: group g is answered from block g whose
+// effective noise scale is 1/βg, giving Err_g/βg².
+func (s *UnionStrategy) Error(w *workload.Workload) (float64, error) {
+	total := 0.0
+	for g, part := range s.Parts {
+		sub := &workload.Workload{Domain: w.Domain}
+		for _, j := range s.Groups[g] {
+			sub.Products = append(sub.Products, w.Products[j])
+		}
+		e, err := part.Error(sub)
+		if err != nil {
+			return 0, err
+		}
+		total += e / (s.Shares[g] * s.Shares[g])
+	}
+	return total, nil
+}
+
+// Reconstruct solves the joint least-squares problem over the full stacked
+// strategy with LSMR (Section 7.2: no closed-form pseudo-inverse exists for
+// unions of Kronecker products).
+func (s *UnionStrategy) Reconstruct(y []float64) ([]float64, error) {
+	op := s.Operator()
+	res := lsmr.Solve(op, y, lsmr.Options{})
+	return res.X, nil
+}
+
+// OptimalShares returns budget shares βg ∝ Err_g^{1/3}, which minimize
+// Σ Err_g/βg² subject to Σβg = 1 (Lagrange conditions).
+func OptimalShares(errs []float64) []float64 {
+	shares := make([]float64, len(errs))
+	sum := 0.0
+	for i, e := range errs {
+		shares[i] = math.Cbrt(math.Max(e, 1e-300))
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}
+
+// ---------------------------------------------------------------------------
+// MarginalStrategy: weighted marginals M(θ) (OPT_M)
+// ---------------------------------------------------------------------------
+
+// MarginalStrategy is the output of OPT_M: the stack of all 2^d marginals
+// weighted by θ (zero-weight marginals are omitted from measurement). θ is
+// normalized so Σθ = 1, making the sensitivity exactly 1.
+type MarginalStrategy struct {
+	Space *marginals.Space
+	Theta []float64
+}
+
+// NewMarginalStrategy normalizes θ to sensitivity 1 and wraps it.
+func NewMarginalStrategy(space *marginals.Space, theta []float64) *MarginalStrategy {
+	sum := 0.0
+	for _, v := range theta {
+		if v < 0 {
+			panic("core: negative marginal weight")
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		panic("core: zero marginal strategy")
+	}
+	norm := make([]float64, len(theta))
+	for i, v := range theta {
+		norm[i] = v / sum
+	}
+	return &MarginalStrategy{Space: space, Theta: norm}
+}
+
+// Name implements Strategy.
+func (s *MarginalStrategy) Name() string { return "OPT_M" }
+
+// Sensitivity is Σθ = 1 (every marginal partitions the domain, so column
+// sums are exactly Σθ).
+func (s *MarginalStrategy) Sensitivity() float64 { return 1 }
+
+// active returns the subsets with non-negligible weight.
+func (s *MarginalStrategy) active() []int {
+	var out []int
+	for a, v := range s.Theta {
+		if v > 1e-12 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Operator returns the implicit weighted-marginals operator.
+func (s *MarginalStrategy) Operator() kron.Linear {
+	return &marginalOperator{s: s, subsets: s.active()}
+}
+
+// Error evaluates (Σθ)²·tr((MᵀM)⁺·WᵀW) via the lattice algebra; see
+// Problem 4 and optmarg.go for the derivation of the t-vector.
+func (s *MarginalStrategy) Error(w *workload.Workload) (float64, error) {
+	tvec := marginalTVector(s.Space, w)
+	u := make([]float64, len(s.Theta))
+	for i, v := range s.Theta {
+		u[i] = v * v
+	}
+	v, err := s.Space.GInverse(u)
+	if err != nil {
+		return 0, err
+	}
+	f := 0.0
+	for i := range v {
+		f += v[i] * tvec[i]
+	}
+	// Σθ = 1 after normalization, so sensitivity² = 1.
+	return f, nil
+}
+
+// Reconstruct computes x̂ = M⁺·y = (MᵀM)⁺·Mᵀ·y with the lattice inverse.
+func (s *MarginalStrategy) Reconstruct(y []float64) ([]float64, error) {
+	mty := make([]float64, s.Space.N())
+	off := 0
+	for _, a := range s.active() {
+		sz := s.Space.MarginalSize(a)
+		part := s.Space.ExpandFrom(a, y[off:off+sz])
+		th := s.Theta[a]
+		for i, v := range part {
+			mty[i] += th * v
+		}
+		off += sz
+	}
+	u := make([]float64, len(s.Theta))
+	for i, v := range s.Theta {
+		u[i] = v * v
+	}
+	vinv, err := s.Space.GInverse(u)
+	if err != nil {
+		return nil, err
+	}
+	return s.Space.GMatVec(vinv, mty), nil
+}
+
+// marginalOperator adapts a MarginalStrategy to kron.Linear.
+type marginalOperator struct {
+	s       *MarginalStrategy
+	subsets []int
+}
+
+func (m *marginalOperator) Dims() (int, int) {
+	r := 0
+	for _, a := range m.subsets {
+		r += m.s.Space.MarginalSize(a)
+	}
+	return r, m.s.Space.N()
+}
+
+func (m *marginalOperator) MatVec(dst, x []float64) {
+	off := 0
+	for _, a := range m.subsets {
+		part := m.s.Space.MarginalizeTo(a, x)
+		th := m.s.Theta[a]
+		for i, v := range part {
+			dst[off+i] = th * v
+		}
+		off += len(part)
+	}
+}
+
+func (m *marginalOperator) MatTVec(dst, y []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	off := 0
+	for _, a := range m.subsets {
+		sz := m.s.Space.MarginalSize(a)
+		part := m.s.Space.ExpandFrom(a, y[off:off+sz])
+		th := m.s.Theta[a]
+		for i, v := range part {
+			dst[i] += th * v
+		}
+		off += sz
+	}
+}
+
+func (m *marginalOperator) Sensitivity() float64 {
+	s := 0.0
+	for _, a := range m.subsets {
+		s += m.s.Theta[a]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// IdentityStrategy
+// ---------------------------------------------------------------------------
+
+// IdentityStrategy measures every cell of the data vector (the Identity
+// baseline, and OPT_HDMM's safe fallback).
+type IdentityStrategy struct {
+	N int
+}
+
+// Name implements Strategy.
+func (s *IdentityStrategy) Name() string { return "Identity" }
+
+// Sensitivity is 1.
+func (s *IdentityStrategy) Sensitivity() float64 { return 1 }
+
+// Operator returns the N×N identity.
+func (s *IdentityStrategy) Operator() kron.Linear { return identityOp{n: s.N} }
+
+// Error is tr(WᵀW).
+func (s *IdentityStrategy) Error(w *workload.Workload) (float64, error) {
+	return w.GramTrace(), nil
+}
+
+// Reconstruct is the identity map.
+func (s *IdentityStrategy) Reconstruct(y []float64) ([]float64, error) {
+	out := make([]float64, len(y))
+	copy(out, y)
+	return out, nil
+}
+
+type identityOp struct{ n int }
+
+func (o identityOp) Dims() (int, int)         { return o.n, o.n }
+func (o identityOp) MatVec(dst, x []float64)  { copy(dst, x) }
+func (o identityOp) MatTVec(dst, y []float64) { copy(dst, y) }
+func (o identityOp) Sensitivity() float64     { return 1 }

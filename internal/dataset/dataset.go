@@ -1,0 +1,292 @@
+// Package dataset provides the synthetic datasets standing in for the
+// evaluation data of Section 8 (Patent, BeijingTaxiE, Adult, CPS, CPH and
+// the DPBench 1-D distributions). The real files are not redistributable in
+// an offline build; these generators match the schemas and the qualitative
+// distribution shapes (power laws, spatial clusters, correlated categorical
+// attributes), which is all the data-dependent baselines (DAWA, PrivBayes)
+// are sensitive to. Every generator is deterministic given its seed.
+// See DESIGN.md §4 for the substitution rationale.
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/schema"
+)
+
+// Zipf1D returns a 1-D histogram of total mass scale over n cells whose
+// sorted cell counts follow a Zipf(α) law, with cells placed in clustered
+// runs (like the Patent citation counts: heavy head, long sparse tail).
+func Zipf1D(n int, total float64, alpha float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x21bf))
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), alpha)
+		sum += weights[i]
+	}
+	// Random placement of ranked cells.
+	perm := rng.Perm(n)
+	x := make([]float64, n)
+	for rank, cell := range perm {
+		x[cell] = math.Round(total * weights[rank] / sum)
+	}
+	return x
+}
+
+// Smooth1D returns a smooth multi-modal histogram (like Hepth/Searchlogs):
+// a mixture of Gaussians quantized over n cells.
+func Smooth1D(n int, total float64, modes int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x53004))
+	type mode struct{ mu, sigma, w float64 }
+	ms := make([]mode, modes)
+	wsum := 0.0
+	for i := range ms {
+		ms[i] = mode{
+			mu:    rng.Float64() * float64(n),
+			sigma: (0.02 + 0.1*rng.Float64()) * float64(n),
+			w:     0.2 + rng.Float64(),
+		}
+		wsum += ms[i].w
+	}
+	x := make([]float64, n)
+	density := make([]float64, n)
+	dsum := 0.0
+	for i := 0; i < n; i++ {
+		d := 0.0
+		for _, m := range ms {
+			z := (float64(i) - m.mu) / m.sigma
+			d += m.w / wsum * math.Exp(-0.5*z*z)
+		}
+		density[i] = d
+		dsum += d
+	}
+	for i := 0; i < n; i++ {
+		x[i] = math.Round(total * density[i] / dsum)
+	}
+	return x
+}
+
+// Sparse1D returns a histogram that is zero except for a few spikes (like
+// Nettrace: most of the domain empty).
+func Sparse1D(n int, total float64, spikes int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x59a125))
+	x := make([]float64, n)
+	remaining := total
+	for s := 0; s < spikes; s++ {
+		cell := rng.IntN(n)
+		amt := math.Round(remaining * (0.1 + 0.4*rng.Float64()))
+		if s == spikes-1 {
+			amt = math.Round(remaining)
+		}
+		x[cell] += amt
+		remaining -= amt
+		if remaining <= 0 {
+			break
+		}
+	}
+	return x
+}
+
+// PiecewiseUniform1D returns a histogram made of uniform runs (the best
+// case for DAWA's partitioning stage; Medcost-like).
+func PiecewiseUniform1D(n int, total float64, pieces int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x4143))
+	bounds := map[int]bool{0: true}
+	for len(bounds) < pieces {
+		bounds[rng.IntN(n)] = true
+	}
+	x := make([]float64, n)
+	level := 0.0
+	for i := 0; i < n; i++ {
+		if bounds[i] {
+			level = math.Round(rng.Float64() * 2 * total / float64(n))
+		}
+		x[i] = level
+	}
+	return x
+}
+
+// Clustered2D returns an n×n spatial histogram with Gaussian clusters
+// (BeijingTaxiE-like pickup locations), flattened row-major.
+func Clustered2D(n int, total float64, clusters int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x7a61))
+	x := make([]float64, n*n)
+	for c := 0; c < clusters; c++ {
+		cx, cy := rng.Float64()*float64(n), rng.Float64()*float64(n)
+		sigma := (0.02 + 0.08*rng.Float64()) * float64(n)
+		mass := total / float64(clusters)
+		for k := 0; k < int(mass); k++ {
+			px := int(cx + rng.NormFloat64()*sigma)
+			py := int(cy + rng.NormFloat64()*sigma)
+			if px >= 0 && px < n && py >= 0 && py < n {
+				x[px*n+py]++
+			}
+		}
+	}
+	return x
+}
+
+// Categorical describes one synthetic categorical dataset.
+type Categorical struct {
+	Domain  *schema.Domain
+	Records [][]int
+}
+
+// Vector returns the data vector (histogram) of the records.
+func (c *Categorical) Vector() []float64 {
+	return c.Domain.DataVector(c.Records)
+}
+
+// AdultLike generates records over the Adult schema of Section 8.1
+// (age 75 × education 16 × race 5 × sex 2 × hours-per-week 20) with
+// realistic correlations (education and hours depend on age; a latent
+// group variable couples race/sex mildly with education).
+func AdultLike(records int, seed uint64) *Categorical {
+	dom := schema.NewDomain(
+		schema.Attribute{Name: "age", Size: 75},
+		schema.Attribute{Name: "education", Size: 16},
+		schema.Attribute{Name: "race", Size: 5},
+		schema.Attribute{Name: "sex", Size: 2},
+		schema.Attribute{Name: "hours", Size: 20},
+	)
+	rng := rand.New(rand.NewPCG(seed, 0xad017))
+	recs := make([][]int, records)
+	for i := range recs {
+		age := clampInt(int(20+rng.NormFloat64()*15), 0, 74)
+		edu := clampInt(int(6+float64(age)/10+rng.NormFloat64()*3), 0, 15)
+		race := weightedPick(rng, []float64{0.72, 0.12, 0.08, 0.05, 0.03})
+		sex := rng.IntN(2)
+		hours := clampInt(int(8+rng.NormFloat64()*4+float64(edu)/4), 0, 19)
+		// Higher-order interaction a low-degree Bayes net cannot capture:
+		// an XOR-style effect of sex and education on hours, modulated by
+		// age bracket (this is what degrades PrivBayes on real data).
+		if (sex == 1) != (edu > 8) {
+			hours = clampInt(hours+5, 0, 19)
+		}
+		if age > 60 && race > 1 {
+			hours = clampInt(hours-6, 0, 19)
+		}
+		recs[i] = []int{age, edu, race, sex, hours}
+	}
+	return &Categorical{Domain: dom, Records: recs}
+}
+
+// CPSLike generates records over the CPS schema of Section 8.1
+// (income 100 × age 50 × marital 7 × race 4 × sex 2) with income
+// correlated with age and a heavy-tailed income distribution.
+func CPSLike(records int, seed uint64) *Categorical {
+	dom := schema.NewDomain(
+		schema.Attribute{Name: "income", Size: 100},
+		schema.Attribute{Name: "age", Size: 50},
+		schema.Attribute{Name: "marital", Size: 7},
+		schema.Attribute{Name: "race", Size: 4},
+		schema.Attribute{Name: "sex", Size: 2},
+	)
+	rng := rand.New(rand.NewPCG(seed, 0xc95))
+	recs := make([][]int, records)
+	for i := range recs {
+		age := clampInt(int(rng.ExpFloat64()*15+18)/1, 0, 49)
+		incomeBase := math.Pow(rng.Float64(), 2.5) * 100 // heavy head at low incomes
+		income := clampInt(int(incomeBase+float64(age)/4), 0, 99)
+		marital := weightedPick(rng, []float64{0.35, 0.4, 0.1, 0.07, 0.05, 0.02, 0.01})
+		race := weightedPick(rng, []float64{0.75, 0.12, 0.08, 0.05})
+		sex := rng.IntN(2)
+		// Joint effect (marital × age × sex) on income that pairwise models
+		// miss: married mid-career men cluster in a higher income band.
+		if marital == 1 && age > 25 && sex == 0 {
+			income = clampInt(income+30, 0, 99)
+		}
+		recs[i] = []int{income, age, marital, race, sex}
+	}
+	return &Categorical{Domain: dom, Records: recs}
+}
+
+// CPHLike generates records over the CPH (Census of Population and Housing)
+// schema of Section 2: Hispanic 2 × Sex 2 × Race 64 (six merged binary race
+// attributes, Example 1) × Relationship 17 × Age 115. With state, append a
+// 51-value State attribute (the SF1+ domain).
+func CPHLike(records int, withState bool, seed uint64) *Categorical {
+	attrs := []schema.Attribute{
+		{Name: "hispanic", Size: 2},
+		{Name: "sex", Size: 2},
+		{Name: "race", Size: 64},
+		{Name: "relationship", Size: 17},
+		{Name: "age", Size: 115},
+	}
+	if withState {
+		attrs = append(attrs, schema.Attribute{Name: "state", Size: 51})
+	}
+	dom := schema.NewDomain(attrs...)
+	rng := rand.New(rand.NewPCG(seed, 0xcf8))
+	recs := make([][]int, records)
+	for i := range recs {
+		hisp := weightedPick(rng, []float64{0.84, 0.16})
+		sex := rng.IntN(2)
+		// Race: single-race codes (powers of two) dominate.
+		race := 1 << uint(weightedPick(rng, []float64{0.72, 0.13, 0.06, 0.05, 0.02, 0.02}))
+		if rng.Float64() < 0.03 { // multi-racial combinations
+			race |= 1 << uint(rng.IntN(6))
+		}
+		rel := weightedPick(rng, []float64{
+			0.36, 0.18, 0.25, 0.02, 0.02, 0.02, 0.02, 0.02,
+			0.02, 0.02, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01})
+		age := clampInt(int(rng.Float64()*100+rng.NormFloat64()*10), 0, 114)
+		rec := []int{hisp, sex, race & 63, rel, age}
+		if withState {
+			rec = append(rec, weightedPick(rng, statePops))
+		}
+		recs[i] = rec
+	}
+	return &Categorical{Domain: dom, Records: recs}
+}
+
+// statePops is a rough relative-population vector for 51 states (D.C.
+// included); only the shape matters.
+var statePops = func() []float64 {
+	w := make([]float64, 51)
+	for i := range w {
+		w[i] = 1 / float64(i+2) // Zipf-ish state sizes
+	}
+	return w
+}()
+
+// DPBench1D returns the five named 1-D dataset stand-ins used by Table 6
+// (Hepth, Medcost, Nettrace, Patent, Searchlogs) at the given domain size
+// and data size.
+func DPBench1D(n int, total float64, seed uint64) map[string][]float64 {
+	return map[string][]float64{
+		"Hepth":      Smooth1D(n, total, 3, seed+1),
+		"Medcost":    PiecewiseUniform1D(n, total, 8, seed+2),
+		"Nettrace":   Sparse1D(n, total, 6, seed+3),
+		"Patent":     Zipf1D(n, total, 1.1, seed+4),
+		"Searchlogs": Smooth1D(n, total, 5, seed+5),
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func weightedPick(rng *rand.Rand, w []float64) int {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	u := rng.Float64() * sum
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if u <= acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func total(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestGeneratorsMassAndDeterminism(t *testing.T) {
+	n, mass := 256, 10000.0
+	gens := map[string]func(seed uint64) []float64{
+		"zipf":   func(s uint64) []float64 { return Zipf1D(n, mass, 1.1, s) },
+		"smooth": func(s uint64) []float64 { return Smooth1D(n, mass, 3, s) },
+		"sparse": func(s uint64) []float64 { return Sparse1D(n, mass, 5, s) },
+		"pwu":    func(s uint64) []float64 { return PiecewiseUniform1D(n, mass, 6, s) },
+	}
+	for name, gen := range gens {
+		a, b := gen(7), gen(7)
+		if len(a) != n {
+			t.Fatalf("%s: length %d", name, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic", name)
+			}
+			if a[i] < 0 {
+				t.Fatalf("%s: negative count", name)
+			}
+		}
+		// Mass within 25% of requested (rounding and clipping lose some).
+		if tt := total(a); math.Abs(tt-mass)/mass > 0.25 {
+			t.Fatalf("%s: total %v want ≈%v", name, tt, mass)
+		}
+		c := gen(8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed has no effect", name)
+		}
+	}
+}
+
+func TestClustered2D(t *testing.T) {
+	x := Clustered2D(32, 5000, 4, 1)
+	if len(x) != 1024 {
+		t.Fatal("wrong size")
+	}
+	if total(x) < 2500 {
+		t.Fatalf("lost too much mass: %v", total(x))
+	}
+}
+
+func TestAdultLikeSchema(t *testing.T) {
+	c := AdultLike(500, 1)
+	if c.Domain.Size() != 75*16*5*2*20 {
+		t.Fatalf("domain size %d", c.Domain.Size())
+	}
+	if len(c.Records) != 500 {
+		t.Fatal("wrong record count")
+	}
+	x := c.Vector()
+	if total(x) != 500 {
+		t.Fatal("vector mass mismatch")
+	}
+}
+
+func TestCPSLikeSchema(t *testing.T) {
+	c := CPSLike(300, 2)
+	if c.Domain.Size() != 100*50*7*4*2 {
+		t.Fatalf("domain size %d", c.Domain.Size())
+	}
+}
+
+func TestCPHLikeSchema(t *testing.T) {
+	c := CPHLike(200, false, 3)
+	if c.Domain.Size() != 2*2*64*17*115 {
+		t.Fatalf("CPH domain size %d want 500480", c.Domain.Size())
+	}
+	cs := CPHLike(200, true, 3)
+	if cs.Domain.Size() != 2*2*64*17*115*51 {
+		t.Fatalf("CPH+state domain size %d want 25524480", cs.Domain.Size())
+	}
+}
+
+func TestDPBench1D(t *testing.T) {
+	m := DPBench1D(128, 1000, 9)
+	if len(m) != 5 {
+		t.Fatalf("want 5 datasets, got %d", len(m))
+	}
+	for name, x := range m {
+		if len(x) != 128 {
+			t.Fatalf("%s: length %d", name, len(x))
+		}
+	}
+}

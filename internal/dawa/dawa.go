@@ -1,0 +1,203 @@
+// Package dawa implements the DAWA baseline (Li et al., PVLDB 2014) for 1-D
+// workloads, and the Appendix B.3 hybrid that replaces its second stage with
+// HDMM's OPT₀. DAWA is data-dependent: stage 1 spends a fraction ρ of the
+// privacy budget finding a partition of the domain into approximately
+// uniform buckets (dynamic programming over noisy counts); stage 2 answers
+// the workload re-expressed over the compressed bucket domain with a
+// workload-aware strategy (GreedyH in the original), and expands bucket
+// estimates uniformly.
+package dawa
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/mat"
+	"repro/internal/mech"
+	"repro/internal/workload"
+)
+
+// Engine selects the stage-2 strategy-selection method.
+type Engine int
+
+const (
+	// EngineGreedyH is the original DAWA second stage.
+	EngineGreedyH Engine = iota
+	// EngineHDMM replaces GreedyH with OPT₀ (Appendix B.3).
+	EngineHDMM
+)
+
+// Options configures a DAWA run.
+type Options struct {
+	Rho    float64 // stage-1 budget fraction (default 0.25, as in the paper)
+	Engine Engine
+	OPT0   core.OPT0Options // used when Engine == EngineHDMM
+}
+
+// Run executes DAWA end-to-end on a 1-D histogram x for the given workload
+// (a single-attribute predicate set), returning private workload answers.
+func Run(x []float64, wl workload.PredicateSet, eps float64, rng *rand.Rand, opts Options) ([]float64, error) {
+	n := len(x)
+	if wl.Cols() != n {
+		return nil, fmt.Errorf("dawa: workload over %d cells, data has %d", wl.Cols(), n)
+	}
+	if opts.Rho <= 0 || opts.Rho >= 1 {
+		opts.Rho = 0.25
+	}
+	eps1 := opts.Rho * eps
+	eps2 := eps - eps1
+
+	buckets := Partition(x, eps1, eps2, rng)
+	b := len(buckets) - 1 // bucket count; buckets are boundary indices
+
+	// Re-express the workload over buckets with uniform expansion:
+	// W'[q, j] = (Σ_{i in bucket j} W[q,i]) / size_j.
+	wm := wl.Matrix()
+	wb := mat.NewDense(wm.Rows(), b)
+	for q := 0; q < wm.Rows(); q++ {
+		src, dst := wm.Row(q), wb.Row(q)
+		for j := 0; j < b; j++ {
+			lo, hi := buckets[j], buckets[j+1]
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += src[i]
+			}
+			dst[j] = s / float64(hi-lo)
+		}
+	}
+
+	// Bucket totals are the stage-2 data vector.
+	xb := make([]float64, b)
+	for j := 0; j < b; j++ {
+		for i := buckets[j]; i < buckets[j+1]; i++ {
+			xb[j] += x[i]
+		}
+	}
+
+	// Stage-2 strategy over the bucket domain.
+	gram := mat.Gram(nil, wb)
+	var strat *mat.Dense
+	switch opts.Engine {
+	case EngineGreedyH:
+		h := hier.GreedyH(gram, b)
+		strat = h.Matrix()
+		normalizeL1(strat)
+	case EngineHDMM:
+		o := opts.OPT0
+		if o.P <= 0 {
+			o.P = b / 16
+			if o.P < 1 {
+				o.P = 1
+			}
+		}
+		s, _ := core.OPT0(gram, o)
+		strat = s.Matrix()
+	default:
+		return nil, fmt.Errorf("dawa: unknown engine %d", opts.Engine)
+	}
+
+	// Measure bucket strategy queries, least-squares reconstruct buckets.
+	y := mat.MatVec(nil, strat, xb)
+	bnoise := mat.L1Norm(strat) / eps2
+	for i := range y {
+		y[i] += mech.Laplace(rng, bnoise)
+	}
+	g := mat.Gram(nil, strat)
+	for i := 0; i < b; i++ {
+		g.Set(i, i, g.At(i, i)+1e-10)
+	}
+	aty := mat.MatTVec(nil, strat, y)
+	xbHat, err := mat.SolveSPD(g, aty)
+	if err != nil {
+		return nil, fmt.Errorf("dawa: reconstruction failed: %w", err)
+	}
+	// Answer the workload on the bucket estimates.
+	return mat.MatVec(nil, wb, xbHat), nil
+}
+
+// Partition computes DAWA's stage-1 private partition: Laplace-noised cell
+// counts (budget eps1) followed by interval dynamic programming that trades
+// each bucket's L1 deviation-from-uniform (approximation error) against the
+// expected stage-2 per-bucket noise 1/eps2 (as in DAWA's cost model). It
+// returns b+1 boundary indices (0 = first, n = last).
+func Partition(x []float64, eps1, eps2 float64, rng *rand.Rand) []int {
+	n := len(x)
+	noisy := make([]float64, n)
+	for i, v := range x {
+		noisy[i] = v + mech.Laplace(rng, 1/eps1)
+	}
+	noiseCharge := 1 / eps2
+
+	// Prefix sums for O(1) bucket means.
+	pre := make([]float64, n+1)
+	for i, v := range noisy {
+		pre[i+1] = pre[i] + v
+	}
+	bucketCost := func(lo, hi int) float64 { // [lo, hi)
+		m := (pre[hi] - pre[lo]) / float64(hi-lo)
+		dev := 0.0
+		for i := lo; i < hi; i++ {
+			dev += math.Abs(noisy[i] - m)
+		}
+		return dev + noiseCharge
+	}
+
+	// DP over interval endpoints; cap interval length to keep O(n·L).
+	maxLen := n
+	if maxLen > 1024 {
+		maxLen = 1024
+	}
+	cost := make([]float64, n+1)
+	back := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		cost[i] = math.Inf(1)
+		lo := i - maxLen
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			if c := cost[j] + bucketCost(j, i); c < cost[i] {
+				cost[i] = c
+				back[i] = j
+			}
+		}
+	}
+	// Recover boundaries.
+	var rev []int
+	for i := n; i > 0; i = back[i] {
+		rev = append(rev, i)
+	}
+	bounds := []int{0}
+	for k := len(rev) - 1; k >= 0; k-- {
+		bounds = append(bounds, rev[k])
+	}
+	return bounds
+}
+
+// normalizeL1 scales the whole matrix so its L1 norm is 1, preserving the
+// hierarchy's relative row weights.
+func normalizeL1(a *mat.Dense) {
+	s := mat.L1Norm(a)
+	if s > 0 {
+		a.Scale(1 / s)
+	}
+}
+
+// ExpectedSquaredError estimates DAWA's data-dependent expected total
+// squared error on a workload by Monte-Carlo over trials.
+func ExpectedSquaredError(x []float64, wl workload.PredicateSet, eps float64, trials int, seed uint64, opts Options) (float64, error) {
+	truth := mat.MatVec(nil, wl.Matrix(), x)
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewPCG(seed, uint64(t)))
+		ans, err := Run(x, wl, eps, rng, opts)
+		if err != nil {
+			return 0, err
+		}
+		total += mech.TotalSquaredError(ans, truth)
+	}
+	return total / float64(trials), nil
+}

@@ -1,0 +1,120 @@
+package dawa
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/mech"
+	"repro/internal/workload"
+)
+
+func TestPartitionBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Perfectly piecewise-uniform data with huge budget: the partition must
+	// be valid and should compress the domain substantially.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		switch {
+		case i < 32:
+			x[i] = 100
+		case i < 96:
+			x[i] = 5
+		default:
+			x[i] = 50
+		}
+	}
+	bounds := Partition(x, 100.0, 1.0, rng)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+		t.Fatalf("bad boundaries %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatal("non-monotone boundaries")
+		}
+	}
+	if len(bounds)-1 > 10 {
+		t.Fatalf("expected coarse partition for piecewise-uniform data, got %d buckets", len(bounds)-1)
+	}
+}
+
+func TestRunProducesFiniteAnswers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	x := dataset.Zipf1D(256, 10000, 1.1, 3)
+	wl := workload.Prefix(256)
+	for _, engine := range []Engine{EngineGreedyH, EngineHDMM} {
+		ans, err := Run(x, wl, 1.0, rng, Options{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ans) != 256 {
+			t.Fatalf("answers %d", len(ans))
+		}
+		for _, v := range ans {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite answer")
+			}
+		}
+	}
+}
+
+func TestRunAccuracyReasonable(t *testing.T) {
+	// On piecewise-uniform data with a decent budget, DAWA's relative L2
+	// error on prefix queries must be small.
+	x := dataset.PiecewiseUniform1D(256, 1e6, 6, 4)
+	wl := workload.Prefix(256)
+	truth := mat.MatVec(nil, wl.Matrix(), x)
+	rng := rand.New(rand.NewPCG(5, 5))
+	ans, err := Run(x, wl, 1.0, rng, Options{Engine: EngineGreedyH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0.0, 0.0
+	for i := range truth {
+		d := ans[i] - truth[i]
+		num += d * d
+		den += truth[i] * truth[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("relative error %v too large", rel)
+	}
+}
+
+func TestHDMMEngineImprovesOrMatches(t *testing.T) {
+	// Appendix B.3: swapping GreedyH for OPT₀ should improve (or at least
+	// not significantly hurt) DAWA's error.
+	x := dataset.Smooth1D(256, 1e5, 3, 6)
+	wl := workload.Prefix(256)
+	const trials = 8
+	orig, err := ExpectedSquaredError(x, wl, math.Sqrt2, trials, 11, Options{Engine: EngineGreedyH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ExpectedSquaredError(x, wl, math.Sqrt2, trials, 11, Options{Engine: EngineHDMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod > orig*1.5 {
+		t.Fatalf("HDMM engine err %v much worse than GreedyH %v", mod, orig)
+	}
+}
+
+func TestExpectedSquaredErrorDeterministicSeed(t *testing.T) {
+	x := dataset.Sparse1D(128, 1000, 4, 7)
+	wl := workload.Prefix(128)
+	a, err := ExpectedSquaredError(x, wl, 1.0, 3, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExpectedSquaredError(x, wl, 1.0, 3, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("not deterministic for fixed seed")
+	}
+	_ = mech.TotalSquaredError
+}

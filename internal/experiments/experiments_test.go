@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseRatios extracts the numeric cells of a rendered table.
+func parseRatios(t *testing.T, out string, skipCols int) [][]float64 {
+	t.Helper()
+	var rows [][]float64
+	for _, line := range strings.Split(out, "\n")[3:] { // title, header, rule
+		fields := strings.Fields(line)
+		if len(fields) <= skipCols {
+			continue
+		}
+		var row []float64
+		for _, f := range fields[skipCols:] {
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				row = append(row, v)
+			}
+		}
+		if len(row) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no numeric rows parsed from:\n%s", out)
+	}
+	return rows
+}
+
+func TestTable4aRatiosAtLeastOne(t *testing.T) {
+	out := Table4a(ScaleSmall)
+	rows := parseRatios(t, out, 3) // workload name may be two tokens
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0.99 {
+				t.Fatalf("competitor beat HDMM: ratio %v in\n%s", v, out)
+			}
+		}
+	}
+}
+
+func TestTable4bRatiosAtLeastOne(t *testing.T) {
+	out := Table4b(ScaleSmall)
+	rows := parseRatios(t, out, 2)
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0.99 {
+				t.Fatalf("competitor beat HDMM: ratio %v in\n%s", v, out)
+			}
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	out := Table5(ScaleSmall)
+	rows := parseRatios(t, out, 3) // "K = 1" is three tokens
+	if len(rows) != 3 {            // ScaleSmall runs K=1..3
+		t.Fatalf("want 3 rows, got %d:\n%s", len(rows), out)
+	}
+	// LM ratio must grow with K (the paper's crossover behaviour) and the
+	// Identity ratio must shrink.
+	if !(rows[0][0] > rows[1][0] && rows[1][0] > rows[2][0]) {
+		t.Fatalf("Identity ratios not decreasing:\n%s", out)
+	}
+	if !(rows[0][1] <= rows[2][1]) {
+		t.Fatalf("LM ratios not increasing:\n%s", out)
+	}
+}
+
+func TestTable6Positive(t *testing.T) {
+	out := Table6(ScaleSmall)
+	rows := parseRatios(t, out, 2)
+	for _, row := range rows {
+		for _, v := range row {
+			if v <= 0 {
+				t.Fatalf("non-positive ratio:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestFig2BestAroundMiddle(t *testing.T) {
+	out := Fig2(ScaleSmall)
+	rows := parseRatios(t, out, 1)
+	// Relative error at p=1 must exceed the minimum (1.00) — the paper's
+	// "p too small is underexpressive" finding.
+	if rows[0][0] <= 1.0 {
+		t.Fatalf("p=1 should be suboptimal:\n%s", out)
+	}
+	found := false
+	for _, r := range rows {
+		if r[0] == 1.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no p achieved the best error:\n%s", out)
+	}
+}
+
+func TestFig4RowsSumToCSV(t *testing.T) {
+	out := Fig4(ScaleSmall)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	csv := lines[2:]
+	if len(csv) != 13 {
+		t.Fatalf("want 13 strategy rows, got %d", len(csv))
+	}
+	for _, line := range csv {
+		if len(strings.Split(line, ",")) != 256 {
+			t.Fatalf("row has wrong arity: %d", len(strings.Split(line, ",")))
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+		err  bool
+	}{
+		{"small", ScaleSmall, false},
+		{"default", ScaleDefault, false},
+		{"", ScaleDefault, false},
+		{"paper", ScalePaper, false},
+		{"bogus", 0, true},
+	} {
+		got, err := ParseScale(tc.in)
+		if (err != nil) != tc.err || (!tc.err && got != tc.want) {
+			t.Fatalf("ParseScale(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

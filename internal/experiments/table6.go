@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dawa"
+	"repro/internal/workload"
+)
+
+// Table6 reproduces Table 6 (Appendix B.3): the error ratio between DAWA
+// with its original GreedyH second stage and DAWA with HDMM's OPT₀ swapped
+// in, on the Prefix workload, across the five DPBench datasets, domain
+// sizes, and data sizes, at ε = √2. Values > 1 mean the HDMM hybrid is more
+// accurate.
+func Table6(s Scale) string {
+	trials := map[Scale]int{ScaleSmall: 2, ScaleDefault: 5, ScalePaper: 25}[s]
+	domains := map[Scale][]int{
+		ScaleSmall:   {256},
+		ScaleDefault: {256, 1024},
+		ScalePaper:   {256, 1024, 4096},
+	}[s]
+	dataSizes := map[Scale][]float64{
+		ScaleSmall:   {1000},
+		ScaleDefault: {1000, 1e7},
+		ScalePaper:   {1000, 1e7},
+	}[s]
+	eps := math.Sqrt2
+
+	t := &table{header: []string{"Domain", "Data size", "min", "median", "max"}}
+	for _, n := range domains {
+		for _, total := range dataSizes {
+			sets := dataset.DPBench1D(n, total, 2018)
+			var ratios []float64
+			// Deterministic dataset order.
+			names := make([]string, 0, len(sets))
+			for name := range sets {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for di, name := range names {
+				x := sets[name]
+				wl := workload.Prefix(n)
+				orig, err := dawa.ExpectedSquaredError(x, wl, eps, trials, uint64(1000+di), dawa.Options{Engine: dawa.EngineGreedyH})
+				if err != nil {
+					panic(err)
+				}
+				mod, err := dawa.ExpectedSquaredError(x, wl, eps, trials, uint64(1000+di), dawa.Options{Engine: dawa.EngineHDMM})
+				if err != nil {
+					panic(err)
+				}
+				ratios = append(ratios, math.Sqrt(orig/mod))
+			}
+			sort.Float64s(ratios)
+			t.add(fmt.Sprint(n), fmt.Sprintf("%.0g", total),
+				fmt.Sprintf("%.2f", ratios[0]),
+				fmt.Sprintf("%.2f", ratios[len(ratios)/2]),
+				fmt.Sprintf("%.2f", ratios[len(ratios)-1]))
+		}
+	}
+	return "Table 6: error ratio DAWA(GreedyH) / DAWA(HDMM), Prefix workload, ε=√2\n" + t.String()
+}

@@ -1,0 +1,208 @@
+package hier
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+// denseErr computes sens²·tr((AᵀA)⁻¹Y) by direct factorization.
+func denseErr(t *testing.T, a *mat.Dense, y *mat.Dense) float64 {
+	t.Helper()
+	g := mat.Gram(nil, a)
+	tr, err := mat.TraceSolve(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mat.L1Norm(a)
+	return s * s * tr
+}
+
+func randSPDGram(rng *rand.Rand, n int) *mat.Dense {
+	a := mat.NewDense(n+2, n)
+	d := a.Data()
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	return mat.Gram(nil, a)
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	h, err := New(8, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 4 || h.Rows() != 1+2+4+8 {
+		t.Fatalf("levels %d rows %d", h.Levels(), h.Rows())
+	}
+	if h.BlockSize(0) != 8 || h.BlockSize(3) != 1 {
+		t.Fatal("block sizes wrong")
+	}
+	if h.Sensitivity() != 4 {
+		t.Fatal("sensitivity wrong")
+	}
+	m := h.Matrix()
+	if r, c := m.Dims(); r != 15 || c != 8 {
+		t.Fatalf("matrix dims %d×%d", r, c)
+	}
+}
+
+func TestMixedRadix(t *testing.T) {
+	br := UniformBranchings(1024, 16)
+	prod := 1
+	for _, b := range br {
+		prod *= b
+	}
+	if prod != 1024 {
+		t.Fatalf("branchings %v", br)
+	}
+	if UniformBranchings(7, 2) == nil {
+		// 7 = ragged: falls back to single factor 7.
+		t.Fatal("expected fallback factorization for prime domain")
+	}
+}
+
+func TestErrMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, cfg := range []struct {
+		n  int
+		br []int
+	}{
+		{8, []int{2, 2, 2}},
+		{16, []int{4, 4}},
+		{12, []int{3, 2, 2}},
+		{27, []int{3, 3, 3}},
+	} {
+		h, err := New(cfg.n, cfg.br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random per-level weights to exercise the weighted case.
+		for i := range h.Weights {
+			h.Weights[i] = 0.2 + rng.Float64()
+		}
+		for _, y := range []*mat.Dense{
+			workload.AllRange(cfg.n).Gram(),
+			workload.Prefix(cfg.n).Gram(),
+			randSPDGram(rng, cfg.n),
+		} {
+			got := h.Err(y)
+			want := denseErr(t, h.Matrix(), y)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("n=%d br=%v: Err = %v want %v", cfg.n, cfg.br, got, want)
+			}
+		}
+	}
+}
+
+func TestHBPicksGoodBranching(t *testing.T) {
+	n := 256
+	y := workload.AllRange(n).Gram()
+	h := HB(y, n, 16)
+	// HB must beat the naive binary hierarchy or at least match it.
+	bin, _ := New(n, UniformBranchings(n, 2))
+	if h.Err(y) > bin.Err(y)+1e-9 {
+		t.Fatalf("HB error %v worse than binary %v", h.Err(y), bin.Err(y))
+	}
+}
+
+func TestGreedyHImprovesOnUniform(t *testing.T) {
+	n := 128
+	y := workload.Prefix(n).Gram()
+	g := GreedyH(y, n)
+	uniform, _ := New(n, UniformBranchings(n, 2))
+	if g.Err(y) > uniform.Err(y)*1.0001 {
+		t.Fatalf("GreedyH %v worse than uniform %v", g.Err(y), uniform.Err(y))
+	}
+	// Its error formula must remain consistent with dense computation.
+	small := GreedyH(workload.AllRange(16).Gram(), 16)
+	got := small.Err(workload.AllRange(16).Gram())
+	want := denseErr(t, small.Matrix(), workload.AllRange(16).Gram())
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("GreedyH err %v dense %v", got, want)
+	}
+}
+
+func TestErr2DMatchesDense(t *testing.T) {
+	n := 8
+	q, err := NewQuadTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union workload [P⊗I; I⊗P] on n×n.
+	p := workload.Prefix(n).Gram()
+	id := workload.Identity(n).Gram()
+	got := q.Err2D([]float64{1, 1}, []*mat.Dense{p, id}, []*mat.Dense{id, p})
+
+	// Dense check: A2D = stack of levels (Bℓ⊗Bℓ).
+	var blocks []*mat.Dense
+	h := q.H
+	for ℓ := 0; ℓ < h.Levels(); ℓ++ {
+		sz := h.BlockSize(ℓ)
+		rows := n / sz
+		b := mat.NewDense(rows, n)
+		for r := 0; r < rows; r++ {
+			for k := r * sz; k < (r+1)*sz; k++ {
+				b.Set(r, k, 1)
+			}
+		}
+		blocks = append(blocks, workload.Kron2(b, b))
+	}
+	a2d := mat.VStack(blocks...)
+	wl := workload.Union2D(
+		[2]workload.PredicateSet{workload.Prefix(n), workload.Identity(n)},
+		[2]workload.PredicateSet{workload.Identity(n), workload.Prefix(n)},
+	)
+	y := mat.Gram(nil, wl.ExplicitMatrix())
+	g := mat.Gram(nil, a2d)
+	tr, err := mat.TraceSolve(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := mat.L1Norm(a2d)
+	want := sens * sens * tr
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("Err2D = %v want %v", got, want)
+	}
+}
+
+func TestHB2DReturnsSomething(t *testing.T) {
+	n := 64
+	r := workload.AllRange(n).Gram()
+	q := HB2D(n, 8, []float64{1}, []*mat.Dense{r}, []*mat.Dense{r})
+	if q == nil {
+		t.Fatal("HB2D returned nil")
+	}
+	if q.Err2D([]float64{1}, []*mat.Dense{r}, []*mat.Dense{r}) <= 0 {
+		t.Fatal("HB2D error should be positive")
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 10
+	y := randSPDGram(rng, n)
+	ps := newPrefixSum(y)
+	for trial := 0; trial < 50; trial++ {
+		r0, r1 := rng.IntN(n), rng.IntN(n)+1
+		if r0 >= r1 {
+			r0, r1 = r1-1, r0+1
+		}
+		c0, c1 := rng.IntN(n), rng.IntN(n)+1
+		if c0 >= c1 {
+			c0, c1 = c1-1, c0+1
+		}
+		want := 0.0
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				want += y.At(i, j)
+			}
+		}
+		if got := ps.sum(r0, r1, c0, c1); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sum(%d:%d, %d:%d) = %v want %v", r0, r1, c0, c1, got, want)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package lsmr implements the LSMR iterative least-squares solver of Fong &
+// Saunders (2011), which HDMM uses to reconstruct data-vector estimates from
+// noisy measurements of union-of-product strategies (Section 7.2): it needs
+// only matrix–vector products with A and Aᵀ, which the implicit operators of
+// package kron provide.
+package lsmr
+
+import (
+	"math"
+
+	"repro/internal/kron"
+)
+
+// Options controls the solver. Zero values select defaults.
+type Options struct {
+	MaxIter int     // default 4·cols
+	Atol    float64 // default 1e-8
+	Btol    float64 // default 1e-8
+}
+
+// Result reports the solution and convergence information.
+type Result struct {
+	X       []float64
+	Iters   int
+	Resid   float64 // final ‖b − Ax‖ estimate
+	Stopped string  // reason
+}
+
+// Solve finds the minimum-norm least-squares solution of A·x ≈ b.
+func Solve(a kron.Linear, b []float64, opts Options) Result {
+	rows, cols := a.Dims()
+	if len(b) != rows {
+		panic("lsmr: rhs length mismatch")
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 4 * cols
+	}
+	if opts.Atol <= 0 {
+		opts.Atol = 1e-8
+	}
+	if opts.Btol <= 0 {
+		opts.Btol = 1e-8
+	}
+
+	u := append([]float64(nil), b...)
+	beta := norm2(u)
+	if beta > 0 {
+		scale(1/beta, u)
+	}
+	v := make([]float64, cols)
+	alpha := 0.0
+	if beta > 0 {
+		a.MatTVec(v, u)
+		alpha = norm2(v)
+		if alpha > 0 {
+			scale(1/alpha, v)
+		}
+	}
+
+	x := make([]float64, cols)
+	if alpha*beta == 0 {
+		return Result{X: x, Stopped: "b is zero or AᵀB is zero"}
+	}
+
+	// Initialization following the LSMR paper's notation.
+	zetabar := alpha * beta
+	alphabar := alpha
+	rho, rhobar, cbar, sbar := 1.0, 1.0, 1.0, 0.0
+
+	h := append([]float64(nil), v...)
+	hbar := make([]float64, cols)
+
+	// Estimates for stopping rules.
+	betadd := beta
+	betad := 0.0
+	rhodold := 1.0
+	tautildeold := 0.0
+	thetatilde := 0.0
+	zeta := 0.0
+	d := 0.0
+	normA2 := alpha * alpha
+	maxrbar := 0.0
+	minrbar := 1e100
+	normb := beta
+
+	tmpRows := make([]float64, rows)
+	tmpCols := make([]float64, cols)
+
+	res := Result{}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Bidiagonalization step: β·u = A·v − α·u ; α·v = Aᵀ·u − β·v.
+		a.MatVec(tmpRows, v)
+		for i := range u {
+			u[i] = tmpRows[i] - alpha*u[i]
+		}
+		beta = norm2(u)
+		if beta > 0 {
+			scale(1/beta, u)
+			a.MatTVec(tmpCols, u)
+			for i := range v {
+				v[i] = tmpCols[i] - beta*v[i]
+			}
+			alpha = norm2(v)
+			if alpha > 0 {
+				scale(1/alpha, v)
+			}
+		}
+
+		// Construct rotation P̂.
+		chat, shat, alphahat := sym(alphabar, 0) // damp = 0
+		// Rotation P.
+		rhoold := rho
+		c, s, rhoNew := sym(alphahat, beta)
+		rho = rhoNew
+		thetanew := s * alpha
+		alphabar = c * alpha
+
+		// Rotation P̄.
+		rhobarold := rhobar
+		zetaold := zeta
+		thetabar := sbar * rho
+		rhotemp := cbar * rho
+		cbarNew, sbarNew, rhobarNew := sym(cbar*rho, thetanew)
+		cbar, sbar, rhobar = cbarNew, sbarNew, rhobarNew
+		zeta = cbar * zetabar
+		zetabar = -sbar * zetabar
+
+		// Update h̄, x, h.
+		coef1 := thetabar * rho / (rhoold * rhobarold)
+		for i := range hbar {
+			hbar[i] = h[i] - coef1*hbar[i]
+		}
+		coef2 := zeta / (rho * rhobar)
+		for i := range x {
+			x[i] += coef2 * hbar[i]
+		}
+		coef3 := thetanew / rho
+		for i := range h {
+			h[i] = v[i] - coef3*h[i]
+		}
+
+		// Residual-norm estimates (from the LSMR paper §5).
+		betaacute := chat * betadd
+		betacheck := -shat * betadd
+		betahat := c * betaacute
+		betadd = -s * betaacute
+
+		thetatildeold := thetatilde
+		ctildeold, stildeold, rhotildeold := sym(rhodold, thetabar)
+		thetatilde = stildeold * rhobar
+		rhodold = ctildeold * rhobar
+		betad = -stildeold*betad + ctildeold*betahat
+
+		tautildeold = (zetaold - thetatildeold*tautildeold) / rhotildeold
+		taud := (zeta - thetatilde*tautildeold) / rhodold
+		d += betacheck * betacheck
+		normr := math.Sqrt(d + (betad-taud)*(betad-taud) + betadd*betadd)
+
+		normA2 += beta * beta
+		normA := math.Sqrt(normA2)
+		normA2 += alpha * alpha
+
+		if math.Abs(rhotemp) > maxrbar {
+			maxrbar = math.Abs(rhotemp)
+		}
+		if iter > 1 && math.Abs(rhotemp) < minrbar {
+			minrbar = math.Abs(rhotemp)
+		}
+
+		normar := math.Abs(zetabar)
+		normx := norm2(x)
+
+		res.Iters = iter
+		res.Resid = normr
+		// Stopping tests.
+		switch {
+		case normar <= opts.Atol*normA*normr:
+			res.Stopped = "‖Aᵀr‖ small"
+		case normr <= opts.Btol*normb+opts.Atol*normA*normx:
+			res.Stopped = "residual small"
+		case alpha == 0 || beta == 0:
+			res.Stopped = "exact solution"
+		}
+		if res.Stopped != "" {
+			break
+		}
+	}
+	if res.Stopped == "" {
+		res.Stopped = "max iterations"
+	}
+	res.X = x
+	return res
+}
+
+// sym computes a Givens rotation: (c, s, r) with c·a + s·b = r, -s·a + c·b = 0.
+func sym(a, b float64) (c, s, r float64) {
+	r = math.Hypot(a, b)
+	if r == 0 {
+		return 1, 0, 0
+	}
+	return a / r, b / r, r
+}
+
+func norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}

@@ -1,0 +1,275 @@
+// Package marginals implements the subset-lattice algebra of Appendix A.4.
+//
+// A marginal over attribute subset a (a d-bit mask) has query matrix
+// Q(a) = ⊗ᵢ (I if bit i of a else T); its Gram is C(a) = ⊗ᵢ (I or 1) where
+// 1 = TᵀT is the all-ones matrix. Matrices of the form G(v) = Σₐ vₐ·C(a)
+// are closed under multiplication (Proposition 3): G(u)·G(v) = G(X(u)·v)
+// with an upper-triangular X(u) (Proposition 4), which lets us multiply and
+// (pseudo-)invert marginal-strategy Grams in O(4^d) scalar work — never
+// touching the N×N matrices.
+package marginals
+
+import (
+	"fmt"
+	"math"
+)
+
+// Space fixes the attribute sizes and precomputes the scalars Ḡ(a) used by
+// the lattice algebra.
+type Space struct {
+	sizes []int
+	d     int
+	n     int       // full domain size ∏ sizes
+	gbar  []float64 // Ḡ(a) = ∏_{i: bit i of a == 0} n_i
+	msize []int     // marginal size ∏_{i: bit i of a == 1} n_i
+}
+
+// NewSpace builds the lattice algebra for the given attribute sizes.
+func NewSpace(sizes []int) *Space {
+	d := len(sizes)
+	if d == 0 || d > 24 {
+		panic(fmt.Sprintf("marginals: unsupported dimensionality %d", d))
+	}
+	s := &Space{sizes: append([]int(nil), sizes...), d: d, n: 1}
+	for _, v := range sizes {
+		if v <= 0 {
+			panic("marginals: non-positive attribute size")
+		}
+		s.n *= v
+	}
+	m := 1 << uint(d)
+	s.gbar = make([]float64, m)
+	s.msize = make([]int, m)
+	for a := 0; a < m; a++ {
+		g := 1.0
+		ms := 1
+		for i := 0; i < d; i++ {
+			if a&(1<<uint(i)) == 0 {
+				g *= float64(sizes[i])
+			} else {
+				ms *= sizes[i]
+			}
+		}
+		s.gbar[a] = g
+		s.msize[a] = ms
+	}
+	return s
+}
+
+// D returns the number of attributes.
+func (s *Space) D() int { return s.d }
+
+// N returns the full domain size.
+func (s *Space) N() int { return s.n }
+
+// NumSubsets returns 2^d.
+func (s *Space) NumSubsets() int { return 1 << uint(s.d) }
+
+// Sizes returns the attribute sizes (shared slice; do not modify).
+func (s *Space) Sizes() []int { return s.sizes }
+
+// GBar returns Ḡ(a) = ∏ over unset bits of n_i (the scalar C̄ of Prop. 3).
+func (s *Space) GBar(a int) float64 { return s.gbar[a] }
+
+// MarginalSize returns the number of cells of marginal a (∏ set-bit sizes).
+func (s *Space) MarginalSize(a int) int { return s.msize[a] }
+
+// Full returns the index of the full subset (the d-way marginal).
+func (s *Space) Full() int { return s.NumSubsets() - 1 }
+
+// XEntry returns X(u)[k,b] = Σ_{a : a&b=k} u_a·Ḡ(a|b). Nonzero only when k
+// is a submask of b. Exposed for tests; the solvers enumerate rows directly.
+func (s *Space) XEntry(u []float64, k, b int) float64 {
+	if k&b != k {
+		return 0
+	}
+	// a = k ∪ t with t ⊆ complement(b); then a|b = b|t.
+	comp := (s.NumSubsets() - 1) &^ b
+	sum := 0.0
+	// Enumerate all submasks t of comp (including 0).
+	for t := comp; ; t = (t - 1) & comp {
+		sum += u[k|t] * s.gbar[b|t]
+		if t == 0 {
+			break
+		}
+	}
+	return sum
+}
+
+// SolveX solves the upper-triangular system X(u)·v = z by back substitution,
+// constructing each row of X on the fly. Total work O(4^d). The system is
+// nonsingular whenever u_full > 0 and u >= 0 elementwise.
+func (s *Space) SolveX(u, z []float64) ([]float64, error) {
+	m := s.NumSubsets()
+	if len(u) != m || len(z) != m {
+		panic("marginals: SolveX length mismatch")
+	}
+	v := make([]float64, m)
+	for k := m - 1; k >= 0; k-- {
+		acc := z[k]
+		// Columns b ⊋ k (strict supermasks): subtract X[k,b]·v[b].
+		comp := (m - 1) &^ k
+		for t := comp; t != 0; t = (t - 1) & comp {
+			b := k | t
+			acc -= s.XEntry(u, k, b) * v[b]
+		}
+		diag := s.XEntry(u, k, k)
+		if diag == 0 || math.IsNaN(diag) {
+			return nil, fmt.Errorf("marginals: singular X(u) at subset %b", k)
+		}
+		v[k] = acc / diag
+	}
+	return v, nil
+}
+
+// SolveXT solves X(u)ᵀ·λ = t by forward substitution (used by the adjoint
+// gradient of OPT_M).
+func (s *Space) SolveXT(u, t []float64) ([]float64, error) {
+	m := s.NumSubsets()
+	if len(u) != m || len(t) != m {
+		panic("marginals: SolveXT length mismatch")
+	}
+	lam := make([]float64, m)
+	for b := 0; b < m; b++ {
+		acc := t[b]
+		// Rows k ⊊ b: subtract X[k,b]·λ[k].
+		for k := (b - 1) & b; ; k = (k - 1) & b {
+			acc -= s.XEntry(u, k, b) * lam[k]
+			if k == 0 {
+				break
+			}
+		}
+		if b == 0 {
+			acc = t[0]
+		}
+		diag := s.XEntry(u, b, b)
+		if diag == 0 {
+			return nil, fmt.Errorf("marginals: singular X(u)ᵀ at subset %b", b)
+		}
+		lam[b] = acc / diag
+	}
+	return lam, nil
+}
+
+// GInverse returns v such that G(v) = G(u)⁻¹, by solving X(u)·v = e_full
+// (G(e_full) = C(full) = I).
+func (s *Space) GInverse(u []float64) ([]float64, error) {
+	z := make([]float64, s.NumSubsets())
+	z[s.Full()] = 1
+	return s.SolveX(u, z)
+}
+
+// MulG returns w with G(u)·G(v) = G(w), i.e. w = X(u)·v (Proposition 4).
+func (s *Space) MulG(u, v []float64) []float64 {
+	m := s.NumSubsets()
+	w := make([]float64, m)
+	for k := 0; k < m; k++ {
+		comp := (m - 1) &^ k
+		acc := 0.0
+		for t := comp; ; t = (t - 1) & comp {
+			b := k | t
+			acc += s.XEntry(u, k, b) * v[b]
+			if t == 0 {
+				break
+			}
+		}
+		w[k] = acc
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Vector operations on the full domain (for measure / reconstruct)
+// ---------------------------------------------------------------------------
+
+// MarginalizeTo computes Q(a)·x: the marginal table of x over the set bits
+// of a, flattened row-major over the kept axes in attribute order.
+func (s *Space) MarginalizeTo(a int, x []float64) []float64 {
+	if len(x) != s.n {
+		panic("marginals: data vector length mismatch")
+	}
+	out := make([]float64, s.msize[a])
+	stride := make([]int, s.d) // stride of each kept axis in the output
+	os := 1
+	for i := s.d - 1; i >= 0; i-- {
+		if a&(1<<uint(i)) != 0 {
+			stride[i] = os
+			os *= s.sizes[i]
+		}
+	}
+	idx := make([]int, s.d)
+	for flat := 0; flat < s.n; flat++ {
+		// Compute output index from kept axes of the current tuple.
+		oi := 0
+		for i := 0; i < s.d; i++ {
+			if a&(1<<uint(i)) != 0 {
+				oi += idx[i] * stride[i]
+			}
+		}
+		out[oi] += x[flat]
+		// Increment odometer (last axis fastest, matching row-major flat).
+		for i := s.d - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < s.sizes[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// ExpandFrom computes Q(a)ᵀ·y: scatter a marginal table back over the full
+// domain (each cell of y is copied to all tuples that marginalize to it).
+func (s *Space) ExpandFrom(a int, y []float64) []float64 {
+	if len(y) != s.msize[a] {
+		panic("marginals: marginal length mismatch")
+	}
+	out := make([]float64, s.n)
+	stride := make([]int, s.d)
+	os := 1
+	for i := s.d - 1; i >= 0; i-- {
+		if a&(1<<uint(i)) != 0 {
+			stride[i] = os
+			os *= s.sizes[i]
+		}
+	}
+	idx := make([]int, s.d)
+	for flat := 0; flat < s.n; flat++ {
+		oi := 0
+		for i := 0; i < s.d; i++ {
+			if a&(1<<uint(i)) != 0 {
+				oi += idx[i] * stride[i]
+			}
+		}
+		out[flat] = y[oi]
+		for i := s.d - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < s.sizes[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// CMatVec computes C(a)·x = Q(a)ᵀ·Q(a)·x (marginalize then broadcast).
+func (s *Space) CMatVec(a int, x []float64) []float64 {
+	return s.ExpandFrom(a, s.MarginalizeTo(a, x))
+}
+
+// GMatVec computes G(v)·x = Σ_a v_a·C(a)·x, skipping zero coefficients.
+func (s *Space) GMatVec(v, x []float64) []float64 {
+	out := make([]float64, s.n)
+	for a, va := range v {
+		if va == 0 {
+			continue
+		}
+		c := s.CMatVec(a, x)
+		for i, ci := range c {
+			out[i] += va * ci
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package marginals
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kron"
+	"repro/internal/mat"
+)
+
+// explicitC materializes C(a) = ⊗(1 or I) for tests.
+func explicitC(s *Space, a int) *mat.Dense {
+	factors := make([]*mat.Dense, s.D())
+	for i := 0; i < s.D(); i++ {
+		n := s.Sizes()[i]
+		if a&(1<<uint(i)) != 0 {
+			factors[i] = mat.Eye(n)
+		} else {
+			factors[i] = mat.Ones(n, n)
+		}
+	}
+	return kron.NewProduct(factors...).Explicit()
+}
+
+// explicitG materializes G(v) = Σ v_a C(a).
+func explicitG(s *Space, v []float64) *mat.Dense {
+	g := mat.NewDense(s.N(), s.N())
+	for a, va := range v {
+		if va == 0 {
+			continue
+		}
+		g.AddScaled(va, explicitC(s, a))
+	}
+	return g
+}
+
+// explicitQ materializes the marginal query matrix Q(a) = ⊗(I or T).
+func explicitQ(s *Space, a int) *mat.Dense {
+	factors := make([]*mat.Dense, s.D())
+	for i := 0; i < s.D(); i++ {
+		n := s.Sizes()[i]
+		if a&(1<<uint(i)) != 0 {
+			factors[i] = mat.Eye(n)
+		} else {
+			factors[i] = mat.Ones(1, n)
+		}
+	}
+	return kron.NewProduct(factors...).Explicit()
+}
+
+func randPos(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 0.1 + rng.Float64()
+	}
+	return v
+}
+
+func TestGBarAndMarginalSize(t *testing.T) {
+	s := NewSpace([]int{2, 3, 4})
+	if s.GBar(0) != 24 || s.GBar(7) != 1 || s.GBar(1) != 12 {
+		t.Fatalf("GBar wrong: %v %v %v", s.GBar(0), s.GBar(7), s.GBar(1))
+	}
+	if s.MarginalSize(0) != 1 || s.MarginalSize(7) != 24 || s.MarginalSize(5) != 8 {
+		t.Fatal("MarginalSize wrong")
+	}
+	// C(a) trace = Ḡ(a's complement count)·... check against explicit.
+	for a := 0; a < 8; a++ {
+		c := explicitC(s, a)
+		// Q(a)ᵀQ(a) == C(a).
+		q := explicitQ(s, a)
+		if !mat.Equalish(mat.Gram(nil, q), c, 1e-12) {
+			t.Fatalf("QᵀQ != C for a=%b", a)
+		}
+	}
+}
+
+func TestProposition3(t *testing.T) {
+	// C(a)·C(b) = Ḡ-scalar(a&b complement...) — verified through MulG on
+	// indicator vectors: G(e_a)G(e_b) = G(X(e_a)e_b).
+	s := NewSpace([]int{2, 3})
+	m := s.NumSubsets()
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			u := make([]float64, m)
+			v := make([]float64, m)
+			u[a], v[b] = 1, 1
+			w := s.MulG(u, v)
+			lhs := mat.Mul(nil, explicitC(s, a), explicitC(s, b))
+			rhs := explicitG(s, w)
+			if !mat.Equalish(lhs, rhs, 1e-9) {
+				t.Fatalf("Prop 3 fails for a=%b b=%b", a, b)
+			}
+		}
+	}
+}
+
+func TestMulGRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := NewSpace([]int{2, 2, 3})
+	m := s.NumSubsets()
+	for trial := 0; trial < 5; trial++ {
+		u, v := randPos(rng, m), randPos(rng, m)
+		w := s.MulG(u, v)
+		lhs := mat.Mul(nil, explicitG(s, u), explicitG(s, v))
+		rhs := explicitG(s, w)
+		if !mat.Equalish(lhs, rhs, 1e-7) {
+			t.Fatalf("MulG mismatch (maxdiff %g)", mat.MaxAbsDiff(lhs, rhs))
+		}
+	}
+}
+
+func TestGInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	s := NewSpace([]int{2, 3, 2})
+	m := s.NumSubsets()
+	u := randPos(rng, m) // strictly positive incl. full subset → invertible
+	v, err := s.GInverse(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := mat.Mul(nil, explicitG(s, u), explicitG(s, v))
+	if !mat.Equalish(prod, mat.Eye(s.N()), 1e-7) {
+		t.Fatalf("G(u)·G(v) != I (maxdiff %g)", mat.MaxAbsDiff(prod, mat.Eye(s.N())))
+	}
+}
+
+func TestSolveXTAdjoint(t *testing.T) {
+	// λᵀ·X·v == t·... check X(u)ᵀλ = t by verifying λᵀ(X v) == tᵀv for
+	// random v, which holds iff the transpose solve is consistent.
+	rng := rand.New(rand.NewPCG(5, 6))
+	s := NewSpace([]int{2, 2, 2})
+	m := s.NumSubsets()
+	u := randPos(rng, m)
+	tvec := randPos(rng, m)
+	lam, err := s.SolveXT(u, tvec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := randPos(rng, m)
+	xv := s.MulG(u, v) // X(u)·v
+	lhs := 0.0
+	for i := range lam {
+		lhs += lam[i] * xv[i]
+	}
+	rhs := 0.0
+	for i := range tvec {
+		rhs += tvec[i] * v[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-8*(1+math.Abs(rhs)) {
+		t.Fatalf("adjoint identity fails: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	s := NewSpace([]int{2, 2})
+	u := make([]float64, 4) // u_full = 0 → singular
+	u[0] = 1
+	if _, err := s.GInverse(u); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestMarginalizeExpand(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	s := NewSpace([]int{2, 3, 2})
+	x := make([]float64, s.N())
+	for i := range x {
+		x[i] = rng.Float64() * 10
+	}
+	for a := 0; a < s.NumSubsets(); a++ {
+		q := explicitQ(s, a)
+		want := mat.MatVec(nil, q, x)
+		got := s.MarginalizeTo(a, x)
+		if len(got) != len(want) {
+			t.Fatalf("a=%b marginal size %d want %d", a, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("a=%b MarginalizeTo[%d] = %v want %v", a, i, got[i], want[i])
+			}
+		}
+		y := randPos(rng, s.MarginalSize(a))
+		wantE := mat.MatTVec(nil, q, y)
+		gotE := s.ExpandFrom(a, y)
+		for i := range wantE {
+			if math.Abs(gotE[i]-wantE[i]) > 1e-9 {
+				t.Fatalf("a=%b ExpandFrom mismatch", a)
+			}
+		}
+	}
+}
+
+func TestCMatVecAndGMatVec(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	s := NewSpace([]int{3, 2, 2})
+	x := randPos(rng, s.N())
+	for a := 0; a < s.NumSubsets(); a++ {
+		want := mat.MatVec(nil, explicitC(s, a), x)
+		got := s.CMatVec(a, x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("CMatVec a=%b mismatch", a)
+			}
+		}
+	}
+	v := randPos(rng, s.NumSubsets())
+	want := mat.MatVec(nil, explicitG(s, v), x)
+	got := s.GMatVec(v, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatal("GMatVec mismatch")
+		}
+	}
+}
+
+// Property: GInverse is a true inverse for random positive u across random
+// small spaces.
+func TestQuickGInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		d := 1 + rng.IntN(3)
+		sizes := make([]int, d)
+		for i := range sizes {
+			sizes[i] = 2 + rng.IntN(2)
+		}
+		s := NewSpace(sizes)
+		u := randPos(rng, s.NumSubsets())
+		v, err := s.GInverse(u)
+		if err != nil {
+			return false
+		}
+		// Check G(u)G(v) = I via MulG instead of materializing.
+		w := s.MulG(u, v)
+		for a := 0; a < s.NumSubsets(); a++ {
+			want := 0.0
+			if a == s.Full() {
+				want = 1
+			}
+			if math.Abs(w[a]-want) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

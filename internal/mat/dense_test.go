@@ -1,0 +1,342 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randSPD returns AᵀA + I which is strictly positive definite.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	a := randMat(rng, n+3, n)
+	g := Gram(nil, a)
+	for i := 0; i < n; i++ {
+		g.data[i*n+i] += 1
+	}
+	return g
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	tr := m.T()
+	if tr.At(2, 1) != 5 {
+		t.Fatal("transpose wrong")
+	}
+	if tr.T().At(1, 2) != 5 {
+		t.Fatal("double transpose wrong")
+	}
+}
+
+func TestFromRowsAndStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}})
+	s := VStack(a, b)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !Equalish(s, want, 0) {
+		t.Fatalf("VStack = %v", s.data)
+	}
+}
+
+func TestEyeDiagOnes(t *testing.T) {
+	if got := Trace(Eye(5)); got != 5 {
+		t.Fatalf("trace(I5) = %v", got)
+	}
+	d := Diag([]float64{1, 2, 3})
+	if d.At(1, 1) != 2 || d.At(0, 1) != 0 {
+		t.Fatal("Diag wrong")
+	}
+	if Sum(Ones(3, 4)) != 12 {
+		t.Fatal("Ones wrong")
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.IntN(12)
+		k := 1 + rng.IntN(12)
+		c := 1 + rng.IntN(12)
+		a, b := randMat(rng, r, k), randMat(rng, k, c)
+		got := Mul(nil, a, b)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				s := 0.0
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(got.At(i, j)-s) > 1e-12 {
+					t.Fatalf("Mul[%d,%d] = %v want %v", i, j, got.At(i, j), s)
+				}
+			}
+		}
+	}
+}
+
+func TestMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a, b := randMat(rng, 7, 5), randMat(rng, 7, 6)
+	want := Mul(nil, a.T(), b)
+	if got := MulTN(nil, a, b); !Equalish(got, want, 1e-12) {
+		t.Fatal("MulTN disagrees with explicit transpose")
+	}
+	c := randMat(rng, 6, 5)
+	want2 := Mul(nil, a, c.T())
+	if got := MulNT(nil, a, c); !Equalish(got, want2, 1e-12) {
+		t.Fatal("MulNT disagrees with explicit transpose")
+	}
+	want3 := Mul(nil, a.T(), a)
+	if got := Gram(nil, a); !Equalish(got, want3, 1e-12) {
+		t.Fatal("Gram disagrees with AᵀA")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randMat(rng, 4, 7)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := MatVec(nil, a, x)
+	xm := FromData(7, 1, x)
+	want := Mul(nil, a, xm)
+	for i := range y {
+		if math.Abs(y[i]-want.At(i, 0)) > 1e-12 {
+			t.Fatal("MatVec disagrees with Mul")
+		}
+	}
+	z := MatTVec(nil, a, y)
+	want2 := MulTN(nil, a, FromData(4, 1, y))
+	for i := range z {
+		if math.Abs(z[i]-want2.At(i, 0)) > 1e-12 {
+			t.Fatal("MatTVec disagrees with MulTN")
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.IntN(20)
+		m := randSPD(rng, n)
+		ch, err := NewCholesky(m)
+		if err != nil {
+			t.Fatalf("cholesky: %v", err)
+		}
+		// L·Lᵀ == M
+		rec := MulNT(nil, ch.L(), ch.L())
+		if !Equalish(rec, m, 1e-8) {
+			t.Fatal("L·Lᵀ != M")
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		borig := append([]float64(nil), b...)
+		x := ch.Solve(b)
+		ax := MatVec(nil, m, x)
+		for i := range ax {
+			if math.Abs(ax[i]-borig[i]) > 1e-7 {
+				t.Fatalf("Solve residual %v", math.Abs(ax[i]-borig[i]))
+			}
+		}
+	}
+}
+
+func TestCholeskyInverseAndTraceSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	n := 15
+	m := randSPD(rng, n)
+	ch, _ := NewCholesky(m)
+	inv := ch.Inverse()
+	if !Equalish(Mul(nil, m, inv), Eye(n), 1e-8) {
+		t.Fatal("M·M⁻¹ != I")
+	}
+	y := randSPD(rng, n)
+	got, err := TraceSolve(m, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TraceMul(inv, y)
+	if math.Abs(got-want) > 1e-7*math.Abs(want) {
+		t.Fatalf("TraceSolve = %v want %v", got, want)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := NewCholesky(m); err == nil {
+		t.Fatal("expected ErrNotPD")
+	}
+}
+
+func TestSymEigen(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.IntN(25)
+		m := randSPD(rng, n)
+		vals, q, err := SymEigen(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Q·Λ·Qᵀ == M
+		ql := q.Clone()
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				ql.data[i*n+j] *= vals[j]
+			}
+		}
+		rec := MulNT(nil, ql, q)
+		if !Equalish(rec, m, 1e-7) {
+			t.Fatalf("QΛQᵀ != M (n=%d, maxdiff %g)", n, MaxAbsDiff(rec, m))
+		}
+		// Orthonormal columns.
+		if !Equalish(MulTN(nil, q, q), Eye(n), 1e-8) {
+			t.Fatal("eigenvectors not orthonormal")
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1]-1e-10 {
+				t.Fatal("eigenvalues not ascending")
+			}
+		}
+	}
+}
+
+func TestPinvProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	// Rank-deficient matrix: duplicate rows.
+	a := randMat(rng, 4, 6)
+	a = VStack(a, a) // 8×6, rank ≤ 4
+	ap, err := Pinv(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moore–Penrose conditions: A·A⁺·A == A and A⁺·A·A⁺ == A⁺.
+	aap := Mul(nil, a, ap)
+	if got := Mul(nil, aap, a); !Equalish(got, a, 1e-8) {
+		t.Fatal("A·A⁺·A != A")
+	}
+	apa := Mul(nil, ap, a)
+	if got := Mul(nil, apa, ap); !Equalish(got, ap, 1e-8) {
+		t.Fatal("A⁺·A·A⁺ != A⁺")
+	}
+	// Symmetry of the projectors.
+	if !Equalish(aap, aap.T(), 1e-8) || !Equalish(apa, apa.T(), 1e-8) {
+		t.Fatal("projectors not symmetric")
+	}
+}
+
+func TestPinvSymInverseCase(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	n := 12
+	m := randSPD(rng, n)
+	p, err := PinvSym(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equalish(Mul(nil, m, p), Eye(n), 1e-7) {
+		t.Fatal("PinvSym of SPD matrix is not the inverse")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {3, 4}})
+	if got := FrobSq(m); got != 30 {
+		t.Fatalf("FrobSq = %v", got)
+	}
+	if got := L1Norm(m); got != 6 {
+		t.Fatalf("L1Norm = %v", got)
+	}
+	cs := ColAbsSums(m)
+	if cs[0] != 4 || cs[1] != 6 {
+		t.Fatalf("ColAbsSums = %v", cs)
+	}
+}
+
+func TestTraceMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	a, b := randMat(rng, 9, 9), randMat(rng, 9, 9)
+	want := Trace(Mul(nil, a, b))
+	if got := TraceMul(a, b); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("TraceMul = %v want %v", got, want)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random shapes.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		r, k, c := 1+rng.IntN(8), 1+rng.IntN(8), 1+rng.IntN(8)
+		a, b := randMat(rng, r, k), randMat(rng, k, c)
+		lhs := Mul(nil, a, b).T()
+		rhs := Mul(nil, b.T(), a.T())
+		return Equalish(lhs, rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trace is invariant under cyclic permutation tr(AB) == tr(BA).
+func TestQuickTraceCyclic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, ^seed))
+		n, m := 1+rng.IntN(8), 1+rng.IntN(8)
+		a, b := randMat(rng, n, m), randMat(rng, m, n)
+		t1 := Trace(Mul(nil, a, b))
+		t2 := Trace(Mul(nil, b, a))
+		return math.Abs(t1-t2) <= 1e-9*(1+math.Abs(t1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky solve agrees with PinvSym application for SPD systems.
+func TestQuickSolveVsPinv(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+77))
+		n := 1 + rng.IntN(10)
+		m := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err := SolveSPD(m, b)
+		if err != nil {
+			return false
+		}
+		p, err := PinvSym(m, 0)
+		if err != nil {
+			return false
+		}
+		x2 := MatVec(nil, p, b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-6*(1+math.Abs(x1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix m = Q·Λ·Qᵀ.
+// It returns the eigenvalues (ascending) and the matrix whose COLUMNS are the
+// corresponding orthonormal eigenvectors. The implementation is the classic
+// Householder tridiagonalization followed by implicit-shift QL iteration.
+func SymEigen(m *Dense) (vals []float64, vecs *Dense, err error) {
+	if m.r != m.c {
+		panic("mat: SymEigen of non-square matrix")
+	}
+	n := m.r
+	a := m.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(a, d, e)
+	if err := tqli(d, e, a); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is moderate
+		j := i
+		for j > 0 && d[idx[j-1]] > d[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	vals = make([]float64, n)
+	vecs = NewDense(n, n)
+	for k, src := range idx {
+		vals[k] = d[src]
+		for i := 0; i < n; i++ {
+			vecs.data[i*n+k] = a.data[i*n+src]
+		}
+	}
+	return vals, vecs, nil
+}
+
+// tred2 reduces the symmetric matrix a to tridiagonal form, accumulating the
+// orthogonal transform in a. On return d holds the diagonal and e the
+// subdiagonal (e[0] unused).
+func tred2(a *Dense, d, e []float64) {
+	n := a.r
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a.data[i*n+k])
+			}
+			if scale == 0 {
+				e[i] = a.data[i*n+l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a.data[i*n+k] /= scale
+					h += a.data[i*n+k] * a.data[i*n+k]
+				}
+				f := a.data[i*n+l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a.data[i*n+l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					a.data[j*n+i] = a.data[i*n+j] / h
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a.data[j*n+k] * a.data[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a.data[k*n+j] * a.data[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * a.data[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a.data[i*n+j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a.data[j*n+k] -= f*e[k] + g*a.data[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = a.data[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		if d[i] != 0 {
+			for j := 0; j < i; j++ {
+				g := 0.0
+				for k := 0; k < i; k++ {
+					g += a.data[i*n+k] * a.data[k*n+j]
+				}
+				for k := 0; k < i; k++ {
+					a.data[k*n+j] -= g * a.data[k*n+i]
+				}
+			}
+		}
+		d[i] = a.data[i*n+i]
+		a.data[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			a.data[j*n+i] = 0
+			a.data[i*n+j] = 0
+		}
+	}
+}
+
+var errEigenNoConverge = errors.New("mat: eigendecomposition failed to converge")
+
+// tqli performs implicit-shift QL iteration on the tridiagonal matrix given
+// by diagonal d and subdiagonal e, accumulating transforms into z.
+func tqli(d, e []float64, z *Dense) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == 50 {
+				return errEigenNoConverge
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < z.r; k++ {
+					f := z.data[k*z.c+i+1]
+					z.data[k*z.c+i+1] = s*z.data[k*z.c+i] + c*f
+					z.data[k*z.c+i] = c*z.data[k*z.c+i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// PinvSym returns the Moore–Penrose pseudo-inverse of a symmetric (typically
+// PSD) matrix, dropping eigenvalues below tol·λmax. tol <= 0 selects a
+// sensible default.
+func PinvSym(m *Dense, tol float64) (*Dense, error) {
+	vals, q, err := SymEigen(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.r
+	lmax := 0.0
+	for _, v := range vals {
+		if a := math.Abs(v); a > lmax {
+			lmax = a
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	cut := tol * lmax
+	// pinv = Q·diag(1/λ)·Qᵀ (zero where |λ| <= cut).
+	scaled := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		inv := 0.0
+		if math.Abs(vals[j]) > cut {
+			inv = 1 / vals[j]
+		}
+		for i := 0; i < n; i++ {
+			scaled.data[i*n+j] = q.data[i*n+j] * inv
+		}
+	}
+	return MulNT(nil, scaled, q), nil
+}
+
+// Pinv returns the Moore–Penrose pseudo-inverse of a general matrix a via the
+// eigendecomposition of its Gram matrix: A⁺ = (AᵀA)⁺Aᵀ. Suitable for the
+// moderate sizes used in strategies and tests.
+func Pinv(a *Dense) (*Dense, error) {
+	g := Gram(nil, a)
+	gp, err := PinvSym(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return MulNT(nil, gp, a), nil
+}

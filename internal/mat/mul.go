@@ -1,0 +1,154 @@
+package mat
+
+// Mul computes C = A·B. If dst is non-nil it must have the right shape and is
+// reused; otherwise a new matrix is allocated. The inner loops run in i-k-j
+// order so the innermost traversal is contiguous in both B and C.
+func Mul(dst, a, b *Dense) *Dense {
+	if a.c != b.r {
+		panic("mat: Mul dimension mismatch")
+	}
+	dst = prepDst(dst, a.r, b.c)
+	n := b.c
+	for i := 0; i < a.r; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : k*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulTN computes C = Aᵀ·B.
+func MulTN(dst, a, b *Dense) *Dense {
+	if a.r != b.r {
+		panic("mat: MulTN dimension mismatch")
+	}
+	dst = prepDst(dst, a.c, b.c)
+	n := b.c
+	for k := 0; k < a.r; k++ {
+		arow := a.Row(k)
+		brow := b.data[k*n : k*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := dst.data[i*n : i*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulNT computes C = A·Bᵀ.
+func MulNT(dst, a, b *Dense) *Dense {
+	if a.c != b.c {
+		panic("mat: MulNT dimension mismatch")
+	}
+	dst = prepDst(dst, a.r, b.r)
+	for i := 0; i < a.r; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for j := 0; j < b.r; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+	return dst
+}
+
+// Gram computes AᵀA, exploiting symmetry (only the upper triangle is
+// accumulated and then mirrored).
+func Gram(dst, a *Dense) *Dense {
+	dst = prepDst(dst, a.c, a.c)
+	n := a.c
+	for k := 0; k < a.r; k++ {
+		row := a.Row(k)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			drow := dst.data[i*n : i*n+n]
+			for j := i; j < n; j++ {
+				drow[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dst.data[j*n+i] = dst.data[i*n+j]
+		}
+	}
+	return dst
+}
+
+// MatVec computes dst = A·x. dst may be nil.
+func MatVec(dst []float64, a *Dense, x []float64) []float64 {
+	if len(x) != a.c {
+		panic("mat: MatVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.r)
+	} else if len(dst) != a.r {
+		panic("mat: MatVec dst length mismatch")
+	}
+	for i := 0; i < a.r; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MatTVec computes dst = Aᵀ·y. dst may be nil.
+func MatTVec(dst []float64, a *Dense, y []float64) []float64 {
+	if len(y) != a.r {
+		panic("mat: MatTVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.c)
+	} else if len(dst) != a.c {
+		panic("mat: MatTVec dst length mismatch")
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for i := 0; i < a.r; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			dst[j] += yi * v
+		}
+	}
+	return dst
+}
+
+func prepDst(dst *Dense, r, c int) *Dense {
+	if dst == nil {
+		return NewDense(r, c)
+	}
+	if dst.r != r || dst.c != c {
+		panic("mat: destination has wrong shape")
+	}
+	dst.Zero()
+	return dst
+}

@@ -1,0 +1,107 @@
+package mat
+
+import "math"
+
+// FrobSq returns the squared Frobenius norm ‖m‖²_F.
+func FrobSq(m *Dense) float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return s
+}
+
+// Trace returns the trace of a square matrix.
+func Trace(m *Dense) float64 {
+	if m.r != m.c {
+		panic("mat: Trace of non-square matrix")
+	}
+	s := 0.0
+	for i := 0; i < m.r; i++ {
+		s += m.data[i*m.c+i]
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func Sum(m *Dense) float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// ColAbsSums returns the vector of column absolute sums of m.
+func ColAbsSums(m *Dense) []float64 {
+	out := make([]float64, m.c)
+	for i := 0; i < m.r; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += math.Abs(v)
+		}
+	}
+	return out
+}
+
+// L1Norm returns the maximum column absolute sum ‖m‖₁, which equals the
+// L1 sensitivity of the query set whose rows are the queries of m.
+func L1Norm(m *Dense) float64 {
+	mx := 0.0
+	for _, v := range ColAbsSums(m) {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// TraceMul returns tr(A·B) for square A, B without forming the product.
+func TraceMul(a, b *Dense) float64 {
+	if a.r != a.c || b.r != b.c || a.r != b.r {
+		panic("mat: TraceMul requires equal square matrices")
+	}
+	n := a.r
+	s := 0.0
+	for i := 0; i < n; i++ {
+		arow := a.data[i*n : i*n+n]
+		for j, v := range arow {
+			s += v * b.data[j*n+i]
+		}
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a vector.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies the vector by s in place.
+func ScaleVec(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}

@@ -1,0 +1,103 @@
+package mech
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kron"
+	"repro/internal/marginals"
+	"repro/internal/mat"
+)
+
+func TestL2SensitivityDense(t *testing.T) {
+	m := mat.FromRows([][]float64{{3, 0}, {4, 1}})
+	// Column L2 norms: 5 and 1.
+	if got := L2Sensitivity(kron.Wrap(m)); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2 = %v want 5", got)
+	}
+}
+
+func TestL2SensitivityKronMultiplies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := mat.NewDense(3, 2)
+	b := mat.NewDense(4, 3)
+	for _, m := range []*mat.Dense{a, b} {
+		d := m.Data()
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+	}
+	p := kron.NewProduct(a, b)
+	want := maxColL2(p.Explicit())
+	if got := L2Sensitivity(p); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("kron L2 = %v want %v", got, want)
+	}
+}
+
+func TestL2SensitivityStackIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := mat.NewDense(2, 4)
+	b := mat.NewDense(3, 4)
+	for _, m := range []*mat.Dense{a, b} {
+		d := m.Data()
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+	}
+	s := kron.NewStack([]kron.Linear{kron.Wrap(a), kron.Wrap(b)}, []float64{0.5, 2})
+	exact := maxColL2(mat.VStack(a.Clone().Scale(0.5), b.Clone().Scale(2)))
+	bound := L2Sensitivity(s)
+	if bound < exact-1e-12 {
+		t.Fatalf("stack bound %v below exact %v (privacy violation)", bound, exact)
+	}
+}
+
+func TestL2SensitivityGenericFallback(t *testing.T) {
+	// The marginal operator exercises the basis-probing fallback.
+	s := core.NewMarginalStrategy(newTestSpace(), []float64{0.25, 0.25, 0.25, 0.25})
+	op := s.Operator()
+	got := L2Sensitivity(op)
+	// Exact value: every domain column appears once per marginal with
+	// weight θ_a, so col L2 = sqrt(Σθ²) = sqrt(4·(1/16)) = 0.5.
+	if math.Abs(got-0.5) > 1e-10 {
+		t.Fatalf("marginal L2 = %v want 0.5", got)
+	}
+}
+
+func TestMeasureGaussianCalibration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 4
+	a := kron.Wrap(mat.Eye(n).Scale(2)) // L2 sensitivity 2
+	x := []float64{1, 2, 3, 4}
+	eps, delta := 0.8, 1e-5
+	sigma := GaussianSigma(2, eps, delta)
+	const trials = 40000
+	var sumsq float64
+	for tr := 0; tr < trials; tr++ {
+		y := MeasureGaussian(a, x, eps, delta, rng)
+		for i := range y {
+			d := y[i] - 2*x[i]
+			sumsq += d * d
+		}
+	}
+	got := sumsq / float64(trials*n)
+	if math.Abs(got-sigma*sigma)/(sigma*sigma) > 0.05 {
+		t.Fatalf("variance %v want %v", got, sigma*sigma)
+	}
+}
+
+func TestGaussianSigmaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid delta")
+		}
+	}()
+	GaussianSigma(1, 1, 0)
+}
+
+// newTestSpace builds a tiny 2-attribute lattice for the fallback test.
+func newTestSpace() *marginals.Space {
+	return marginals.NewSpace([]int{2, 3})
+}

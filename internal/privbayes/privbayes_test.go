@@ -1,0 +1,115 @@
+package privbayes
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mech"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	data := dataset.AdultLike(800, 1)
+	rng := rand.New(rand.NewPCG(2, 2))
+	syn := Synthesize(data, 1.0, rng, Options{})
+	if len(syn.Records) != 800 {
+		t.Fatalf("synthetic records %d", len(syn.Records))
+	}
+	if syn.Domain.Size() != data.Domain.Size() {
+		t.Fatal("domain changed")
+	}
+	for _, r := range syn.Records {
+		for i, v := range r {
+			if v < 0 || v >= syn.Domain.Attr(i).Size {
+				t.Fatalf("record value %d out of range for attr %d", v, i)
+			}
+		}
+	}
+}
+
+func TestMutualInfoProperties(t *testing.T) {
+	// MI with an independent attribute should be near zero; with a copy of
+	// itself, near the entropy (positive and large).
+	dom := schema.Sizes(4, 4, 4)
+	rng := rand.New(rand.NewPCG(3, 3))
+	recs := make([][]int, 3000)
+	for i := range recs {
+		a := rng.IntN(4)
+		recs[i] = []int{a, a, rng.IntN(4)} // attr1 copies attr0; attr2 independent
+	}
+	data := &dataset.Categorical{Domain: dom, Records: recs}
+	dep := mutualInfo(data, 1, []int{0})
+	indep := mutualInfo(data, 2, []int{0})
+	if dep < 1.0 {
+		t.Fatalf("MI of dependent attrs %v too small", dep)
+	}
+	if indep > 0.05 {
+		t.Fatalf("MI of independent attrs %v too large", indep)
+	}
+}
+
+func TestStructurePrefersCorrelatedParents(t *testing.T) {
+	// With a generous budget, structure selection should attach the copied
+	// attribute to its source.
+	dom := schema.Sizes(6, 6, 6)
+	rng := rand.New(rand.NewPCG(4, 4))
+	recs := make([][]int, 5000)
+	for i := range recs {
+		a := rng.IntN(6)
+		recs[i] = []int{a, a, rng.IntN(6)}
+	}
+	data := &dataset.Categorical{Domain: dom, Records: recs}
+	found := 0
+	const tries = 10
+	for tr := 0; tr < tries; tr++ {
+		rng2 := rand.New(rand.NewPCG(uint64(tr), 9))
+		_, parents := selectStructure(data, 1000.0, rng2, 1)
+		if (len(parents[0]) == 1 && parents[0][0] == 1) || (len(parents[1]) == 1 && parents[1][0] == 0) {
+			found++
+		}
+	}
+	if found < tries/2 {
+		t.Fatalf("correlated parent chosen only %d/%d times", found, tries)
+	}
+}
+
+func TestSynthesizePreservesMarginalsAtHighEps(t *testing.T) {
+	data := dataset.CPSLike(5000, 5)
+	rng := rand.New(rand.NewPCG(6, 6))
+	syn := Synthesize(data, 1000.0, rng, Options{SampleSize: 20000})
+	// First-attribute marginal of synthetic data should resemble the truth.
+	n0 := data.Domain.Attr(0).Size
+	truth := make([]float64, n0)
+	for _, r := range data.Records {
+		truth[r[0]]++
+	}
+	got := make([]float64, n0)
+	for _, r := range syn.Records {
+		got[r[0]]++
+	}
+	// Compare as distributions (L1 distance).
+	l1 := 0.0
+	for i := 0; i < n0; i++ {
+		l1 += math.Abs(truth[i]/5000 - got[i]/20000)
+	}
+	if l1 > 0.15 {
+		t.Fatalf("marginal L1 distance %v too large", l1)
+	}
+}
+
+func TestExpectedSquaredError(t *testing.T) {
+	data := dataset.AdultLike(1000, 7)
+	dom := data.Domain
+	w := workload.KWayMarginals(dom, 1)
+	sqErr := func(diff []float64) float64 { return mech.WorkloadQuadraticError(w, diff) }
+	e, err := ExpectedSquaredError(data, sqErr, 1.0, 2, 11, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+		t.Fatalf("error = %v", e)
+	}
+}

@@ -1,0 +1,123 @@
+// Package schema models the single-table relational schema of Section 3.1:
+// a list of categorical attributes with finite domains, the induced full
+// domain dom(R) = dom(A1)×···×dom(Ad), the tuple↔flat-index encoding that
+// defines the data vector, and histogram construction from records.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named categorical attribute with a finite domain size.
+type Attribute struct {
+	Name string
+	Size int
+}
+
+// Domain is an ordered list of attributes; the flat data-vector index of a
+// tuple follows row-major order (the first attribute varies slowest), which
+// matches the Kronecker-product convention used throughout the paper.
+type Domain struct {
+	attrs   []Attribute
+	strides []int
+	size    int
+}
+
+// NewDomain builds a domain from attributes. Every size must be positive.
+func NewDomain(attrs ...Attribute) *Domain {
+	d := &Domain{attrs: append([]Attribute(nil), attrs...)}
+	d.strides = make([]int, len(attrs))
+	d.size = 1
+	for i := len(attrs) - 1; i >= 0; i-- {
+		if attrs[i].Size <= 0 {
+			panic(fmt.Sprintf("schema: attribute %q has non-positive size %d", attrs[i].Name, attrs[i].Size))
+		}
+		d.strides[i] = d.size
+		d.size *= attrs[i].Size
+	}
+	return d
+}
+
+// Sizes is a convenience constructor naming attributes A0, A1, ...
+func Sizes(sizes ...int) *Domain {
+	attrs := make([]Attribute, len(sizes))
+	for i, n := range sizes {
+		attrs[i] = Attribute{Name: fmt.Sprintf("A%d", i), Size: n}
+	}
+	return NewDomain(attrs...)
+}
+
+// NumAttrs returns the number of attributes d.
+func (d *Domain) NumAttrs() int { return len(d.attrs) }
+
+// Attr returns the i-th attribute.
+func (d *Domain) Attr(i int) Attribute { return d.attrs[i] }
+
+// AttrSizes returns the per-attribute domain sizes n1..nd.
+func (d *Domain) AttrSizes() []int {
+	out := make([]int, len(d.attrs))
+	for i, a := range d.attrs {
+		out[i] = a.Size
+	}
+	return out
+}
+
+// Size returns the full domain size N = ∏ ni.
+func (d *Domain) Size() int { return d.size }
+
+// Index flattens a tuple (one value per attribute) into its data-vector index.
+func (d *Domain) Index(tuple []int) int {
+	if len(tuple) != len(d.attrs) {
+		panic("schema: tuple arity mismatch")
+	}
+	idx := 0
+	for i, v := range tuple {
+		if v < 0 || v >= d.attrs[i].Size {
+			panic(fmt.Sprintf("schema: value %d out of range for attribute %q (size %d)", v, d.attrs[i].Name, d.attrs[i].Size))
+		}
+		idx += v * d.strides[i]
+	}
+	return idx
+}
+
+// Tuple inverts Index, writing into dst if it has the right length.
+func (d *Domain) Tuple(idx int, dst []int) []int {
+	if dst == nil || len(dst) != len(d.attrs) {
+		dst = make([]int, len(d.attrs))
+	}
+	for i := range d.attrs {
+		dst[i] = idx / d.strides[i]
+		idx %= d.strides[i]
+	}
+	return dst
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (d *Domain) AttrIndex(name string) int {
+	for i, a := range d.attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the domain like "sex(2) × age(115)".
+func (d *Domain) String() string {
+	parts := make([]string, len(d.attrs))
+	for i, a := range d.attrs {
+		parts[i] = fmt.Sprintf("%s(%d)", a.Name, a.Size)
+	}
+	return strings.Join(parts, " × ")
+}
+
+// DataVector builds the histogram x over dom(R) from records (each record is
+// one tuple). This is the explicit vector representation of Section 3.4.
+func (d *Domain) DataVector(records [][]int) []float64 {
+	x := make([]float64, d.size)
+	for _, r := range records {
+		x[d.Index(r)]++
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package schema
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	d := Sizes(3, 4, 5)
+	if d.Size() != 60 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	seen := make(map[int]bool)
+	tuple := make([]int, 3)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 5; c++ {
+				idx := d.Index([]int{a, b, c})
+				if idx < 0 || idx >= 60 || seen[idx] {
+					t.Fatalf("bad or duplicate index %d for (%d,%d,%d)", idx, a, b, c)
+				}
+				seen[idx] = true
+				got := d.Tuple(idx, tuple)
+				if got[0] != a || got[1] != b || got[2] != c {
+					t.Fatalf("Tuple(%d) = %v", idx, got)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexOrderMatchesKronecker(t *testing.T) {
+	// Row-major: first attribute has the largest stride.
+	d := Sizes(2, 3)
+	if d.Index([]int{1, 0}) != 3 || d.Index([]int{0, 1}) != 1 {
+		t.Fatal("index order does not match Kronecker flattening")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		k := 1 + rng.IntN(4)
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = 1 + rng.IntN(6)
+		}
+		d := Sizes(sizes...)
+		idx := rng.IntN(d.Size())
+		return d.Index(d.Tuple(idx, nil)) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataVector(t *testing.T) {
+	d := NewDomain(Attribute{"sex", 2}, Attribute{"age", 3})
+	recs := [][]int{{0, 0}, {0, 0}, {1, 2}, {0, 1}}
+	x := d.DataVector(recs)
+	if x[d.Index([]int{0, 0})] != 2 || x[d.Index([]int{1, 2})] != 1 || x[d.Index([]int{0, 1})] != 1 {
+		t.Fatalf("DataVector = %v", x)
+	}
+	total := 0.0
+	for _, v := range x {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestAttrIndexAndString(t *testing.T) {
+	d := NewDomain(Attribute{"sex", 2}, Attribute{"age", 115})
+	if d.AttrIndex("age") != 1 || d.AttrIndex("nope") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	if d.String() != "sex(2) × age(115)" {
+		t.Fatalf("String = %q", d.String())
+	}
+}

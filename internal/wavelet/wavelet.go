@@ -1,0 +1,161 @@
+// Package wavelet implements the Privelet baseline (Xiao et al.): the Haar
+// wavelet strategy for 1-D (and, via Kronecker products, 2-D) domains. The
+// Haar rows are mutually orthogonal, so AᵀA is diagonalized by the rows
+// themselves and the exact expected error reduces to per-row quadratic forms
+// hᵀYh — evaluated in O(1) each with a prefix-sum table.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Haar is the (unnormalized) Haar strategy over a power-of-two domain:
+// one total row of ones plus, for every dyadic block, a detail row that is
+// +1 on the left half and −1 on the right half.
+type Haar struct {
+	N int // power of two
+	K int // log2 N
+}
+
+// New builds the Haar strategy; n must be a power of two.
+func New(n int) (*Haar, error) {
+	k := 0
+	for m := n; m > 1; m /= 2 {
+		if m%2 != 0 {
+			return nil, fmt.Errorf("wavelet: domain size %d is not a power of two", n)
+		}
+		k++
+	}
+	return &Haar{N: n, K: k}, nil
+}
+
+// Rows returns n (total row + n−1 detail rows: a complete basis).
+func (h *Haar) Rows() int { return h.N }
+
+// Sensitivity is 1 + log2(n): every column has a 1 in the total row and a
+// ±1 in exactly one detail row per level.
+func (h *Haar) Sensitivity() float64 { return float64(1 + h.K) }
+
+// Matrix materializes the strategy: row 0 is all ones; then for level
+// ℓ = 0..k−1 there are 2^ℓ detail rows of support n/2^ℓ.
+func (h *Haar) Matrix() *mat.Dense {
+	m := mat.NewDense(h.N, h.N)
+	for j := 0; j < h.N; j++ {
+		m.Set(0, j, 1)
+	}
+	r := 1
+	for lvl := 0; lvl < h.K; lvl++ {
+		blocks := 1 << uint(lvl)
+		size := h.N / blocks
+		half := size / 2
+		for b := 0; b < blocks; b++ {
+			start := b * size
+			row := m.Row(r)
+			for j := start; j < start+half; j++ {
+				row[j] = 1
+			}
+			for j := start + half; j < start+size; j++ {
+				row[j] = -1
+			}
+			r++
+		}
+	}
+	return m
+}
+
+// TraceInv computes tr((AᵀA)⁻¹·Y) = Σ_rows (hᵀYh)/‖h‖⁴ using prefix sums.
+func (h *Haar) TraceInv(y *mat.Dense) float64 {
+	if y.Rows() != h.N || y.Cols() != h.N {
+		panic("wavelet: Gram dimension mismatch")
+	}
+	ps := newPrefixSum(y)
+	n := h.N
+	// Total row: hᵀYh = sum(Y), ‖h‖² = n.
+	total := ps.sum(0, n, 0, n) / (float64(n) * float64(n))
+	for lvl := 0; lvl < h.K; lvl++ {
+		blocks := 1 << uint(lvl)
+		size := n / blocks
+		half := size / 2
+		norm4 := float64(size) * float64(size) // ‖h‖⁴ with ±1 entries
+		for b := 0; b < blocks; b++ {
+			s := b * size
+			mid := s + half
+			e := s + size
+			quad := ps.sum(s, mid, s, mid) - ps.sum(s, mid, mid, e) -
+				ps.sum(mid, e, s, mid) + ps.sum(mid, e, mid, e)
+			total += quad / norm4
+		}
+	}
+	return total
+}
+
+// Err returns sens²·tr((AᵀA)⁻¹·Y), the expected total squared error of
+// answering a workload with Gram Y from the Privelet strategy (2/ε² factor
+// omitted).
+func (h *Haar) Err(y *mat.Dense) float64 {
+	s := h.Sensitivity()
+	return s * s * h.TraceInv(y)
+}
+
+// Err2D returns the exact error of the 2-D Privelet strategy H⊗H on a union
+// workload with per-product factor Grams y1[j], y2[j] and weights wj. The
+// eigenbasis of (H⊗H)ᵀ(H⊗H) factorizes, so the trace is a product of the
+// per-dimension traces for each union term.
+func Err2D(n int, weights []float64, y1, y2 []*mat.Dense) (float64, error) {
+	h, err := New(n)
+	if err != nil {
+		return 0, err
+	}
+	sens := h.Sensitivity() * h.Sensitivity() // (1+log n)² for H⊗H
+	total := 0.0
+	for j := range weights {
+		total += weights[j] * weights[j] * h.TraceInv(y1[j]) * h.TraceInv(y2[j])
+	}
+	return sens * sens * total, nil
+}
+
+// ---------------------------------------------------------------------------
+// prefix sums (duplicated from hier to keep packages dependency-free)
+// ---------------------------------------------------------------------------
+
+type prefixSum struct {
+	n int
+	p []float64
+}
+
+func newPrefixSum(y *mat.Dense) *prefixSum {
+	n := y.Rows()
+	p := make([]float64, (n+1)*(n+1))
+	w := n + 1
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += row[j]
+			p[(i+1)*w+j+1] = p[i*w+j+1] + acc
+		}
+	}
+	return &prefixSum{n: n, p: p}
+}
+
+func (ps *prefixSum) sum(r0, r1, c0, c1 int) float64 {
+	w := ps.n + 1
+	return ps.p[r1*w+c1] - ps.p[r0*w+c1] - ps.p[r1*w+c0] + ps.p[r0*w+c0]
+}
+
+// Sanity check helper for tests: verify row orthogonality numerically.
+func (h *Haar) CheckOrthogonal() error {
+	m := h.Matrix()
+	g := mat.MulNT(nil, m, m)
+	for i := 0; i < h.N; i++ {
+		for j := 0; j < h.N; j++ {
+			if i != j && math.Abs(g.At(i, j)) > 1e-9 {
+				return fmt.Errorf("wavelet: rows %d and %d not orthogonal", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/workload"
+)
+
+func denseErr(t *testing.T, a, y *mat.Dense) float64 {
+	t.Helper()
+	g := mat.Gram(nil, a)
+	tr, err := mat.TraceSolve(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mat.L1Norm(a)
+	return s * s * tr
+}
+
+func TestHaarStructure(t *testing.T) {
+	h, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 8 || h.K != 3 {
+		t.Fatalf("rows %d k %d", h.Rows(), h.K)
+	}
+	if h.Sensitivity() != 4 {
+		t.Fatalf("sensitivity %v want 4 (1+log2 8)", h.Sensitivity())
+	}
+	if err := h.CheckOrthogonal(); err != nil {
+		t.Fatal(err)
+	}
+	// Sensitivity equals the explicit L1 norm.
+	if got := mat.L1Norm(h.Matrix()); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("L1 = %v", got)
+	}
+}
+
+func TestNewRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := New(12); err == nil {
+		t.Fatal("expected error for n=12")
+	}
+}
+
+func TestErrMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{2, 4, 16, 32} {
+		h, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grams := []*mat.Dense{
+			workload.AllRange(n).Gram(),
+			workload.Prefix(n).Gram(),
+			workload.Permute(workload.AllRange(n), workload.RandPerm(n, 3)).Gram(),
+		}
+		_ = rng
+		for gi, y := range grams {
+			got := h.Err(y)
+			want := denseErr(t, h.Matrix(), y)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("n=%d gram %d: Err = %v want %v", n, gi, got, want)
+			}
+		}
+	}
+}
+
+func TestErr2DMatchesDense(t *testing.T) {
+	n := 8
+	p := workload.Prefix(n)
+	w := workload.Product2D(p, p)
+	got, err := Err2D(n, []float64{1}, []*mat.Dense{p.Gram()}, []*mat.Dense{p.Gram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := New(n)
+	a2d := workload.Kron2(h.Matrix(), h.Matrix())
+	y := mat.Gram(nil, w.ExplicitMatrix())
+	want := denseErr(t, a2d, y)
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("Err2D = %v want %v", got, want)
+	}
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/schema"
+)
+
+// Product is a single Kronecker-product term of a logical workload
+// (Definition 2/3): one predicate set per attribute, with a scalar weight
+// expressing repetition/importance of its queries.
+type Product struct {
+	Weight float64
+	Terms  []PredicateSet
+}
+
+// NewProduct builds a weight-1 product.
+func NewProduct(terms ...PredicateSet) Product {
+	return Product{Weight: 1, Terms: terms}
+}
+
+// Rows returns the number of queries in the product (∏ per-term rows).
+func (p Product) Rows() int {
+	r := 1
+	for _, t := range p.Terms {
+		r *= t.Rows()
+	}
+	return r
+}
+
+// Cols returns the flattened domain size spanned by the product.
+func (p Product) Cols() int {
+	c := 1
+	for _, t := range p.Terms {
+		c *= t.Cols()
+	}
+	return c
+}
+
+// ImplicitSize returns the number of float64 values needed to store the
+// product implicitly (Σ pi·ni), the quantity Example 6 compares against the
+// explicit ∏ pi·ni.
+func (p Product) ImplicitSize() int {
+	s := 0
+	for _, t := range p.Terms {
+		s += t.Rows() * t.Cols()
+	}
+	return s
+}
+
+// Workload is a weighted union of products over a common domain
+// (Definition 3); the output of ImpVec in Table 1(b).
+type Workload struct {
+	Domain   *schema.Domain
+	Products []Product
+}
+
+// New validates and builds a workload: every product must have one term per
+// attribute with matching domain sizes.
+func New(dom *schema.Domain, products ...Product) (*Workload, error) {
+	w := &Workload{Domain: dom, Products: products}
+	for pi, p := range products {
+		if len(p.Terms) != dom.NumAttrs() {
+			return nil, fmt.Errorf("workload: product %d has %d terms, domain has %d attributes", pi, len(p.Terms), dom.NumAttrs())
+		}
+		if p.Weight <= 0 {
+			return nil, fmt.Errorf("workload: product %d has non-positive weight %v", pi, p.Weight)
+		}
+		for ai, t := range p.Terms {
+			if t.Cols() != dom.Attr(ai).Size {
+				return nil, fmt.Errorf("workload: product %d term %d has %d columns, attribute %q has size %d",
+					pi, ai, t.Cols(), dom.Attr(ai).Name, dom.Attr(ai).Size)
+			}
+		}
+	}
+	return w, nil
+}
+
+// MustNew is New, panicking on error; for tests and literals.
+func MustNew(dom *schema.Domain, products ...Product) *Workload {
+	w, err := New(dom, products...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NumQueries returns the total number of predicate counting queries.
+func (w *Workload) NumQueries() int {
+	total := 0
+	for _, p := range w.Products {
+		total += p.Rows()
+	}
+	return total
+}
+
+// ImplicitSize returns the total implicit storage (float64 count) of the
+// workload, Σ over products of Σ pi·ni.
+func (w *Workload) ImplicitSize() int {
+	s := 0
+	for _, p := range w.Products {
+		s += p.ImplicitSize()
+	}
+	return s
+}
+
+// ExplicitSize returns the number of cells of the fully materialized
+// workload matrix, Σ rows · N.
+func (w *Workload) ExplicitSize() int {
+	return w.NumQueries() * w.Domain.Size()
+}
+
+// ColCounts returns, for every domain element, the total weighted number of
+// queries mentioning it: the column sums of the (weighted) workload matrix.
+// The maximum entry is the L1 sensitivity used by the Laplace Mechanism
+// baseline. Cost and memory are O(N).
+func (w *Workload) ColCounts() []float64 {
+	n := w.Domain.Size()
+	out := make([]float64, n)
+	tmp := make([]float64, n)
+	for _, p := range w.Products {
+		// Kronecker product of per-term column-count vectors.
+		kronVec(tmp, p.Terms)
+		for i, v := range tmp {
+			out[i] += p.Weight * v
+		}
+	}
+	return out
+}
+
+// Sensitivity returns ‖W‖₁, the max weighted column count.
+func (w *Workload) Sensitivity() float64 {
+	mx := 0.0
+	for _, v := range w.ColCounts() {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// kronVec writes the Kronecker product of the terms' column-count vectors
+// into dst (length = product of cols).
+func kronVec(dst []float64, terms []PredicateSet) {
+	dst[0] = 1
+	size := 1
+	for _, t := range terms {
+		cc := t.ColCounts()
+		n := len(cc)
+		// Expand dst[0:size] by factor n, in place from the back.
+		for i := size - 1; i >= 0; i-- {
+			v := dst[i]
+			base := i * n
+			for j := n - 1; j >= 0; j-- {
+				dst[base+j] = v * cc[j]
+			}
+		}
+		size *= n
+	}
+}
+
+// GramTrace returns tr(WᵀW) = Σ_j wj²·∏_i tr(Gram_ij); this is the expected
+// total squared error of the Identity strategy (sensitivity 1), up to the
+// 2/ε² factor.
+func (w *Workload) GramTrace() float64 {
+	total := 0.0
+	for _, p := range w.Products {
+		term := p.Weight * p.Weight
+		for _, t := range p.Terms {
+			term *= mat.Trace(t.Gram())
+		}
+		total += term
+	}
+	return total
+}
+
+// ExplicitMatrix materializes the full workload matrix (weighted, stacked).
+// Only for tests and small domains.
+func (w *Workload) ExplicitMatrix() *mat.Dense {
+	if w.ExplicitSize() > maxExplicitCells {
+		panic("workload: explicit matrix too large")
+	}
+	blocks := make([]*mat.Dense, 0, len(w.Products))
+	for _, p := range w.Products {
+		m := kronExplicit(p.Terms)
+		if p.Weight != 1 {
+			m.Scale(p.Weight)
+		}
+		blocks = append(blocks, m)
+	}
+	return mat.VStack(blocks...)
+}
+
+// kronExplicit materializes the Kronecker product of the terms' matrices.
+func kronExplicit(terms []PredicateSet) *mat.Dense {
+	cur := mat.Ones(1, 1)
+	for _, t := range terms {
+		cur = kron2(cur, t.Matrix())
+	}
+	return cur
+}
+
+// kron2 returns the Kronecker product A⊗B (Definition 8).
+func kron2(a, b *mat.Dense) *mat.Dense {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	out := mat.NewDense(ar*br, ac*bc)
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			v := a.At(i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < br; k++ {
+				dst := out.Row(i*br + k)[j*bc : j*bc+bc]
+				src := b.Row(k)
+				for l, bv := range src {
+					dst[l] = v * bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Kron2 exposes the explicit Kronecker product for other packages' tests.
+func Kron2(a, b *mat.Dense) *mat.Dense { return kron2(a, b) }
