@@ -5,10 +5,38 @@
 package hdmm_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/mat"
 )
+
+// BenchmarkMulParallel measures the dense GEMM kernel (the inner loop of
+// every OPT₀ gradient evaluation) at n=768, serial vs sharded across 4
+// cores. The two paths produce bit-identical results; the ratio is pure
+// speedup.
+func BenchmarkMulParallel(b *testing.B) {
+	n := 768
+	a := mat.NewDense(n, n)
+	c := mat.NewDense(n, n)
+	for i, d := 0, a.Data(); i < len(d); i++ {
+		d[i] = float64(i%17) * 0.25
+	}
+	for i, d := 0, c.Data(); i < len(d); i++ {
+		d[i] = float64(i%13) * 0.5
+	}
+	dst := mat.NewDense(n, n)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers=%d", workers), func(b *testing.B) {
+			prev := mat.SetWorkers(workers)
+			defer mat.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				mat.Mul(dst, a, c)
+			}
+		})
+	}
+}
 
 func benchExperiment(b *testing.B, f func(experiments.Scale) string) {
 	b.Helper()

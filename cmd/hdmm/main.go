@@ -34,6 +34,7 @@ func main() {
 	epsFlag := flag.Float64("eps", 1.0, "privacy budget ε")
 	seedFlag := flag.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
 	restartsFlag := flag.Int("restarts", 5, "strategy-selection restarts")
+	workersFlag := flag.Int("workers", 0, "cores for strategy selection and numeric kernels (0 = all; results are identical for any value)")
 	var queries queryFlags
 	flag.Var(&queries, "query", "workload product, e.g. I,R (repeatable)")
 	flag.Parse()
@@ -71,9 +72,10 @@ func main() {
 	check(err)
 	x := dom.DataVector(records)
 
+	hdmm.SetWorkers(*workersFlag) // kernel-level bound; Selection.Workers bounds the restart fan-out
 	res, err := hdmm.Run(w, x, *epsFlag, hdmm.Options{
 		Seed:      *seedFlag,
-		Selection: hdmm.SelectOptions{Restarts: *restartsFlag},
+		Selection: hdmm.SelectOptions{Restarts: *restartsFlag, Workers: *workersFlag},
 	})
 	check(err)
 

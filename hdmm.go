@@ -34,6 +34,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/kron"
 	"repro/internal/mech"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -99,7 +100,11 @@ var (
 type Strategy = core.Strategy
 
 // SelectOptions controls strategy selection (Algorithm 2). The zero value
-// uses sensible defaults (5 restarts, all operators enabled).
+// uses sensible defaults (5 restarts, all operators enabled, and Workers =
+// runtime.GOMAXPROCS(0) — restarts, block subproblems and large matrix
+// kernels run on all cores). Selection is deterministic for a fixed Seed:
+// the selected strategy is bit-identical for every Workers value, so results
+// can be reproduced on any machine by pinning the seed alone.
 type SelectOptions = core.HDMMOptions
 
 // Selected is the result of strategy selection: the strategy, its expected
@@ -112,6 +117,15 @@ type Selected = core.Selected
 func Select(w *Workload, opts SelectOptions) (*Selected, error) {
 	return core.Select(w, opts)
 }
+
+// SetWorkers bounds the cores used by the process-wide numeric kernels —
+// dense GEMM sharding, Kronecker matrix–vector products, and LSMR's vector
+// updates — and returns the previous bound. It complements
+// SelectOptions.Workers, which bounds the algorithmic fan-out (restarts and
+// block subproblems) per Select call; set both to 1 to pin the whole
+// pipeline to a single core. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0). All results are bit-identical for any value.
+func SetWorkers(n int) int { return kron.SetWorkers(n) }
 
 // Options configures an end-to-end Run.
 type Options struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/workload"
@@ -29,6 +30,44 @@ func BenchmarkOPT0Small(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		OPT0(y, OPT0Options{P: 16, Restarts: 1, Seed: uint64(i), MaxIter: 50})
+	}
+}
+
+// BenchmarkOPT0Restarts measures 8 independent OPT₀ restarts at n=256 —
+// Algorithm 2's dominant loop — serial (Workers=1) vs parallel (Workers=4).
+// The restarts are bit-identical across the two settings (see
+// parallel_test.go), so the ratio is pure speedup.
+func BenchmarkOPT0Restarts(b *testing.B) {
+	y := workload.AllRange(256).Gram()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				OPT0(y, OPT0Options{P: 16, Restarts: 8, Seed: 42, MaxIter: 25, Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkOPTKron measures OPT⊗ on a 3-attribute union workload — parallel
+// restarts plus the per-attribute block subproblems inside each cycle.
+func BenchmarkOPTKron(b *testing.B) {
+	dom := schemaSizes(64, 48, 32)
+	w, err := workload.New(dom,
+		workload.NewProduct(workload.AllRange(64), workload.Total(48), workload.Identity(32)),
+		workload.NewProduct(workload.Identity(64), workload.Prefix(48), workload.Total(32)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := OPTKronOptions{Restarts: 4, MaxIter: 25, Cycles: 2, Seed: 42, Workers: workers}
+				if _, _, err := OPTKron(w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

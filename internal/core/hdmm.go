@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -14,6 +15,15 @@ type HDMMOptions struct {
 	Kron        OPTKronOptions
 	Marg        OPTMargOptions
 	Seed        uint64
+	// Workers bounds the algorithmic fan-out of the selection: the S outer
+	// restarts, each operator's internal restarts, and OPT⊗'s per-attribute
+	// block subproblems. <= 0 selects GOMAXPROCS(0). The large-matrix
+	// kernels underneath (GEMM sharding, Kronecker matvecs) are governed
+	// separately by the process-wide parallel.SetKernelWorkers bound; both
+	// layers draw helper goroutines from one token bucket sized
+	// GOMAXPROCS(0), so the machine is never oversubscribed regardless of
+	// either setting. The selected strategy is bit-identical for any value.
+	Workers int
 }
 
 func (o HDMMOptions) withDefaults() HDMMOptions {
@@ -38,43 +48,69 @@ type Selected struct {
 // Identity strategy seeds the comparison so the result is never worse than
 // the trivial baseline. Selection never looks at the data, so it consumes no
 // privacy budget (Section 7.3).
+//
+// The S restarts are independent and run concurrently on up to Workers
+// cores. Every candidate is seeded purely by its (restart, operator) slot,
+// and candidates are compared in the serial order — restart-major, then
+// OPT⊗, OPT⁺, OPT_M — so the winner is bit-identical for any Workers value.
 func Select(w *workload.Workload, opts HDMMOptions) (*Selected, error) {
 	opts = opts.withDefaults()
 	d := w.Domain.NumAttrs()
 
-	best := &Selected{
-		Strategy: &IdentityStrategy{N: w.Domain.Size()},
-		Err:      w.GramTrace(),
-		Operator: "Identity",
+	// Precompute the per-attribute Grams once, serially: the predicate-set
+	// caches are concurrency-safe, but warming them here keeps the first
+	// parallel restarts from duplicating the work.
+	for _, p := range w.Products {
+		for _, t := range p.Terms {
+			t.Gram()
+		}
 	}
 
-	for s := 0; s < opts.Restarts; s++ {
+	candidates := parallel.Map(opts.Workers, opts.Restarts, func(s int) []*Selected {
 		seed := opts.Seed*1_000_003 + uint64(s)
+		var cands []*Selected
 
 		if !opts.SkipKron {
 			kopts := opts.Kron
 			kopts.Seed = seed
+			kopts.Workers = opts.Workers
 			strat, e, err := OPTKron(w, kopts)
-			if err == nil && e < best.Err {
-				best = &Selected{Strategy: strat, Err: e, Operator: "OPT⊗"}
+			if err == nil {
+				cands = append(cands, &Selected{Strategy: strat, Err: e, Operator: "OPT⊗"})
 			}
 		}
 
 		if !opts.SkipPlus && len(w.Products) >= 2 {
 			popts := OPTPlusOptions{Kron: opts.Kron}
 			popts.Kron.Seed = seed + 17
+			popts.Kron.Workers = opts.Workers
 			strat, e, err := OPTPlus(w, popts)
-			if err == nil && e < best.Err {
-				best = &Selected{Strategy: strat, Err: e, Operator: "OPT+"}
+			if err == nil {
+				cands = append(cands, &Selected{Strategy: strat, Err: e, Operator: "OPT+"})
 			}
 		}
 
 		if !opts.SkipMarg && d <= opts.MaxMargDims {
 			mopts := opts.Marg
 			mopts.Seed = seed + 43
+			mopts.Workers = opts.Workers
 			strat, e, err := OPTMarg(w, mopts)
-			if err == nil && e < best.Err {
-				best = &Selected{Strategy: strat, Err: e, Operator: "OPT_M"}
+			if err == nil {
+				cands = append(cands, &Selected{Strategy: strat, Err: e, Operator: "OPT_M"})
+			}
+		}
+		return cands
+	})
+
+	best := &Selected{
+		Strategy: &IdentityStrategy{N: w.Domain.Size()},
+		Err:      w.GramTrace(),
+		Operator: "Identity",
+	}
+	for _, cands := range candidates {
+		for _, c := range cands {
+			if c.Err < best.Err {
+				best = c
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/optimize"
+	"repro/internal/parallel"
 )
 
 // OPT0Options controls the OPT₀ optimizer.
@@ -15,6 +16,7 @@ type OPT0Options struct {
 	MaxIter  int     // L-BFGS iterations per restart (default 150)
 	Tol      float64 // relative improvement tolerance (default 1e-7)
 	Seed     uint64  // RNG seed for initialization
+	Workers  int     // cores for concurrent restarts (<= 0: GOMAXPROCS(0))
 }
 
 func (o OPT0Options) withDefaults(n int) OPT0Options {
@@ -40,22 +42,36 @@ func (o OPT0Options) withDefaults(n int) OPT0Options {
 // minimizing ‖W·A⁺‖²_F = tr((AᵀA)⁻¹·WᵀW), taking the workload only through
 // its Gram matrix Y = WᵀW (n×n). It returns the best strategy found and its
 // objective value. Cost per iteration is O(p·n²) (Theorem 4).
+//
+// Restarts run concurrently on up to Workers cores. Each restart draws its
+// initialization from a PCG stream derived from (Seed, restart index) — never
+// from a shared RNG, whose draw order would couple results to scheduling —
+// and the winner is folded in restart order with a strict comparison, so the
+// returned strategy is bit-identical for every Workers value.
 func OPT0(y *mat.Dense, opts OPT0Options) (*PIdentity, float64) {
 	n := y.Rows()
 	opts = opts.withDefaults(n)
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x0937))
 
-	best := identityPIdentity(n)
-	bestErr := mat.Trace(y) // Identity strategy error as the baseline
-	for r := 0; r < opts.Restarts; r++ {
+	type restartResult struct {
+		s *PIdentity
+		e float64
+	}
+	results := parallel.Map(opts.Workers, opts.Restarts, func(r int) restartResult {
+		rng := rand.New(rand.NewPCG(parallel.DeriveSeed(opts.Seed, uint64(r)), 0x0937))
 		theta := mat.NewDense(opts.P, n)
 		td := theta.Data()
 		for i := range td {
 			td[i] = rng.Float64()
 		}
 		s, e := opt0From(y, theta, opts)
-		if e < bestErr {
-			best, bestErr = s, e
+		return restartResult{s, e}
+	})
+
+	best := identityPIdentity(n)
+	bestErr := mat.Trace(y) // Identity strategy error as the baseline
+	for _, r := range results {
+		if r.e < bestErr {
+			best, bestErr = r.s, r.e
 		}
 	}
 	return best, bestErr

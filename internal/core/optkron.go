@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -16,6 +17,7 @@ type OPTKronOptions struct {
 	Cycles   int     // block-coordinate sweeps for unions (default 6)
 	Tol      float64 // relative improvement tolerance across cycles (default 1e-4)
 	Seed     uint64
+	Workers  int // cores for restarts and per-attribute subproblems (<= 0: GOMAXPROCS(0))
 }
 
 func (o OPTKronOptions) withDefaults(w *workload.Workload) OPTKronOptions {
@@ -85,16 +87,26 @@ func OPTKron(w *workload.Workload, opts OPTKronOptions) (*KronStrategy, float64,
 		}
 	}
 
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x0b70))
+	// Restarts are independent: each derives its own seed from (Seed, r) and
+	// runs concurrently; the winner is folded in restart order so the result
+	// is bit-identical for any Workers value.
+	type restartResult struct {
+		s   *KronStrategy
+		e   float64
+		err error
+	}
+	results := parallel.Map(opts.Workers, opts.Restarts, func(r int) restartResult {
+		s, e, err := optKronOnce(w, grams, opts, parallel.DeriveSeed(opts.Seed, uint64(r)))
+		return restartResult{s, e, err}
+	})
 	var best *KronStrategy
 	bestErr := math.Inf(1)
-	for r := 0; r < opts.Restarts; r++ {
-		s, e, err := optKronOnce(w, grams, opts, rng.Uint64())
-		if err != nil {
-			return nil, 0, err
+	for _, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		if e < bestErr {
-			best, bestErr = s, e
+		if r.e < bestErr {
+			best, bestErr = r.s, r.e
 		}
 	}
 	return best, bestErr, nil
@@ -147,10 +159,17 @@ func optKronOnce(w *workload.Workload, grams [][]*mat.Dense, opts OPTKronOptions
 	}
 	prev := totalErr()
 	for c := 0; c < cycles; c++ {
-		for i := 0; i < d; i++ {
-			// Surrogate Gram Ŷᵢ = Σⱼ cⱼ²·Gᵢⱼ with cⱼ² = wⱼ²·∏_{i'≠i} e[i'][j]
-			// (Equation 6): optimizing Aᵢ against Ŷᵢ optimizes the true
-			// coupled objective with all other blocks fixed.
+		// Propose stage: every attribute's OPT₀ subproblem is solved
+		// concurrently against the surrogate Gram Ŷᵢ = Σⱼ cⱼ²·Gᵢⱼ with
+		// cⱼ² = wⱼ²·∏_{i'≠i} e[i'][j] (Equation 6), built from the errs
+		// frozen at cycle start. Freezing makes each proposal a pure
+		// function of the cycle-start state, independent of scheduling.
+		type blockProposal struct {
+			sub  *PIdentity
+			errs []float64
+			ok   bool
+		}
+		props := parallel.Map(opts.Workers, d, func(i int) blockProposal {
 			n := w.Domain.Attr(i).Size
 			yHat := mat.NewDense(n, n)
 			for j, p := range w.Products {
@@ -163,28 +182,42 @@ func optKronOnce(w *workload.Workload, grams [][]*mat.Dense, opts OPTKronOptions
 				yHat.AddScaled(c2, grams[i][j])
 			}
 			sub, _ := opt0From(yHat, subs[i].Theta.Clone(), OPT0Options{MaxIter: opts.MaxIter})
-			// Keep the update only if it improves this block.
 			gi, err := sub.GramInv()
 			if err != nil {
-				continue
+				return blockProposal{}
 			}
 			newErrs := make([]float64, k)
+			for j := 0; j < k; j++ {
+				newErrs[j] = mat.TraceMul(gi, grams[i][j])
+			}
+			return blockProposal{sub: sub, errs: newErrs, ok: true}
+		})
+		// Accept stage: proposals are applied sequentially in attribute
+		// order, each re-tested against the errs as already updated by
+		// lower-indexed acceptances. Every acceptance therefore strictly
+		// decreases the true coupled objective (only block i changes and
+		// improvedObj < oldObj under the current weights), and the
+		// propose/accept split keeps the whole cycle deterministic for any
+		// Workers value.
+		for i := 0; i < d; i++ {
+			if !props[i].ok {
+				continue
+			}
 			improvedObj := 0.0
 			oldObj := 0.0
 			for j := 0; j < k; j++ {
-				newErrs[j] = mat.TraceMul(gi, grams[i][j])
 				c2 := w.Products[j].Weight * w.Products[j].Weight
 				for i2 := 0; i2 < d; i2++ {
 					if i2 != i {
 						c2 *= errs[i2][j]
 					}
 				}
-				improvedObj += c2 * newErrs[j]
+				improvedObj += c2 * props[i].errs[j]
 				oldObj += c2 * errs[i][j]
 			}
 			if improvedObj < oldObj {
-				subs[i] = sub
-				errs[i] = newErrs
+				subs[i] = props[i].sub
+				errs[i] = props[i].errs
 			}
 		}
 		cur := totalErr()

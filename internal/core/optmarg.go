@@ -7,6 +7,7 @@ import (
 	"repro/internal/marginals"
 	"repro/internal/mat"
 	"repro/internal/optimize"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -15,6 +16,7 @@ type OPTMargOptions struct {
 	Restarts int // random restarts (default 1)
 	MaxIter  int // L-BFGS iterations (default 200)
 	Seed     uint64
+	Workers  int // cores for concurrent restarts (<= 0: GOMAXPROCS(0))
 }
 
 func (o OPTMargOptions) withDefaults() OPTMargOptions {
@@ -147,10 +149,12 @@ func OPTMarg(w *workload.Workload, opts OPTMargOptions) (*MarginalStrategy, floa
 	lb := make([]float64, m)
 	lb[space.Full()] = 1e-3 // keep X(u) well-conditioned (θ_full > 0)
 
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x0a26))
-	var best []float64
-	bestErr := math.Inf(1)
-	for r := 0; r < opts.Restarts; r++ {
+	// Restarts run concurrently; restart r derives its own PCG stream from
+	// (Seed, r), and the winner fold is in restart order, so the result is
+	// bit-identical for any Workers value. Restart 0 keeps the informed
+	// start (the workload's own marginals).
+	results := parallel.Map(opts.Workers, opts.Restarts, func(r int) optimize.Result {
+		rng := rand.New(rand.NewPCG(parallel.DeriveSeed(opts.Seed, uint64(r)), 0x0a26))
 		x0 := make([]float64, m)
 		if r == 0 {
 			// Informed start: weight the marginals that appear in the
@@ -182,7 +186,11 @@ func OPTMarg(w *workload.Workload, opts OPTMargOptions) (*MarginalStrategy, floa
 				x0[i] = rng.Float64()
 			}
 		}
-		res := optimize.MinimizeBounded(obj, x0, lb, optimize.Options{MaxIter: opts.MaxIter})
+		return optimize.MinimizeBounded(obj, x0, lb, optimize.Options{MaxIter: opts.MaxIter})
+	})
+	var best []float64
+	bestErr := math.Inf(1)
+	for _, res := range results {
 		if res.F < bestErr {
 			bestErr = res.F
 			best = res.X

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -92,24 +93,39 @@ func OPTPlus(w *workload.Workload, opts OPTPlusOptions) (*UnionStrategy, float64
 	if len(groups) == 0 {
 		return nil, 0, fmt.Errorf("core: OPT+ requires at least one group")
 	}
-	parts := make([]*KronStrategy, len(groups))
-	groupErrs := make([]float64, len(groups))
 	for g, idx := range groups {
-		sub := &workload.Workload{Domain: w.Domain}
 		for _, j := range idx {
 			if j < 0 || j >= len(w.Products) {
 				return nil, 0, fmt.Errorf("core: OPT+ group %d references product %d out of range", g, j)
 			}
+		}
+	}
+	// Per-group OPT⊗ runs are independent candidate evaluations; run them
+	// concurrently with per-group seeds and report the first error (by group
+	// index) deterministically.
+	type groupResult struct {
+		s   *KronStrategy
+		e   float64
+		err error
+	}
+	results := parallel.Map(opts.Kron.Workers, len(groups), func(g int) groupResult {
+		sub := &workload.Workload{Domain: w.Domain}
+		for _, j := range groups[g] {
 			sub.Products = append(sub.Products, w.Products[j])
 		}
 		kopts := opts.Kron
 		kopts.Seed = opts.Kron.Seed*1000003 + uint64(g)
 		s, e, err := OPTKron(sub, kopts)
-		if err != nil {
-			return nil, 0, err
+		return groupResult{s, e, err}
+	})
+	parts := make([]*KronStrategy, len(groups))
+	groupErrs := make([]float64, len(groups))
+	for g, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		parts[g] = s
-		groupErrs[g] = e
+		parts[g] = r.s
+		groupErrs[g] = r.e
 	}
 	shares := OptimalShares(groupErrs)
 	total := 0.0

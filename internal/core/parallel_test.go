@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The contract under test: for a fixed seed, every optimizer returns a
+// byte-identical strategy and objective no matter how many workers execute
+// it. Seeds derive purely from task indices and all parallel kernels
+// preserve the serial floating-point order, so this is exact equality, not
+// tolerance-based.
+
+func thetasEqual(t *testing.T, name string, a, b *PIdentity) {
+	t.Helper()
+	ad, bd := a.Theta.Data(), b.Theta.Data()
+	if len(ad) != len(bd) {
+		t.Fatalf("%s: Θ shapes differ: %d vs %d params", name, len(ad), len(bd))
+	}
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			t.Fatalf("%s: Θ[%d] = %x vs %x (not byte-identical)",
+				name, i, math.Float64bits(ad[i]), math.Float64bits(bd[i]))
+		}
+	}
+}
+
+func TestOPT0DeterministicAcrossWorkers(t *testing.T) {
+	y := workload.AllRange(48).Gram()
+	base := OPT0Options{P: 3, Restarts: 5, Seed: 99, MaxIter: 60}
+
+	ref := base
+	ref.Workers = 1
+	wantS, wantE := OPT0(y, ref)
+
+	for _, workers := range []int{2, 4, 7} {
+		opts := base
+		opts.Workers = workers
+		gotS, gotE := OPT0(y, opts)
+		if math.Float64bits(gotE) != math.Float64bits(wantE) {
+			t.Fatalf("Workers=%d: objective %v != %v", workers, gotE, wantE)
+		}
+		thetasEqual(t, "OPT0", gotS, wantS)
+	}
+}
+
+func TestOPTKronDeterministicAcrossWorkers(t *testing.T) {
+	dom := schemaSizes(12, 8, 6)
+	w, err := workload.New(dom,
+		workload.NewProduct(workload.AllRange(12), workload.Total(8), workload.Identity(6)),
+		workload.NewProduct(workload.Identity(12), workload.Prefix(8), workload.Total(6)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := OPTKronOptions{Restarts: 3, MaxIter: 40, Cycles: 3, Seed: 7}
+
+	ref := base
+	ref.Workers = 1
+	wantS, wantE, err := OPTKron(w, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 5} {
+		opts := base
+		opts.Workers = workers
+		gotS, gotE, err := OPTKron(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(gotE) != math.Float64bits(wantE) {
+			t.Fatalf("Workers=%d: objective %v != %v", workers, gotE, wantE)
+		}
+		if len(gotS.Subs) != len(wantS.Subs) {
+			t.Fatalf("Workers=%d: %d factors != %d", workers, len(gotS.Subs), len(wantS.Subs))
+		}
+		for i := range gotS.Subs {
+			thetasEqual(t, "OPT⊗ factor", gotS.Subs[i], wantS.Subs[i])
+		}
+	}
+}
+
+func TestOPTMargDeterministicAcrossWorkers(t *testing.T) {
+	w := workload.KWayMarginals(schemaSizes(4, 5, 3, 2), 2)
+	base := OPTMargOptions{Restarts: 4, MaxIter: 60, Seed: 21}
+
+	ref := base
+	ref.Workers = 1
+	wantS, wantE, err := OPTMarg(w, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{3, 6} {
+		opts := base
+		opts.Workers = workers
+		gotS, gotE, err := OPTMarg(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(gotE) != math.Float64bits(wantE) {
+			t.Fatalf("Workers=%d: objective %v != %v", workers, gotE, wantE)
+		}
+		for i := range wantS.Theta {
+			if math.Float64bits(gotS.Theta[i]) != math.Float64bits(wantS.Theta[i]) {
+				t.Fatalf("Workers=%d: θ[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestSelectDeterministicAcrossWorkers runs the full OPT_HDMM driver — all
+// operators, multiple restarts — at several worker counts and demands the
+// same winning operator and a byte-identical objective.
+func TestSelectDeterministicAcrossWorkers(t *testing.T) {
+	dom := schemaSizes(10, 6)
+	w, err := workload.New(dom,
+		workload.NewProduct(workload.AllRange(10), workload.Total(6)),
+		workload.NewProduct(workload.Identity(10), workload.Identity(6)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := HDMMOptions{
+		Restarts: 3,
+		Seed:     5,
+		Kron:     OPTKronOptions{MaxIter: 30, Cycles: 2},
+		Marg:     OPTMargOptions{MaxIter: 40},
+	}
+
+	ref := base
+	ref.Workers = 1
+	want, err := Select(w, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4} {
+		opts := base
+		opts.Workers = workers
+		got, err := Select(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Operator != want.Operator {
+			t.Fatalf("Workers=%d: winner %s != %s", workers, got.Operator, want.Operator)
+		}
+		if math.Float64bits(got.Err) != math.Float64bits(want.Err) {
+			t.Fatalf("Workers=%d: error %v != %v", workers, got.Err, want.Err)
+		}
+	}
+}
+
+// TestOPT0RestartsOrderIndependent documents the shared-RNG fix: permuting
+// the number of restarts must not change what restart r computes, so the
+// best-of-k error can only improve as k grows.
+func TestOPT0RestartsOrderIndependent(t *testing.T) {
+	y := workload.Prefix(32).Gram()
+	prevErr := math.Inf(1)
+	for _, restarts := range []int{1, 2, 4} {
+		_, e := OPT0(y, OPT0Options{P: 2, Restarts: restarts, Seed: 3, MaxIter: 60})
+		if e > prevErr+1e-15 {
+			t.Fatalf("best-of-%d error %v worse than best-of-fewer %v", restarts, e, prevErr)
+		}
+		prevErr = e
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/kron"
 	"repro/internal/lsmr"
@@ -38,7 +39,9 @@ type Strategy interface {
 type KronStrategy struct {
 	Subs []*PIdentity
 
-	gramInvs []*mat.Dense // cached (AᵢᵀAᵢ)⁻¹
+	gramOnce sync.Once
+	gramInvs []*mat.Dense // cached (AᵢᵀAᵢ)⁻¹, guarded by gramOnce
+	gramErr  error
 }
 
 // NewKronStrategy wraps per-attribute p-Identity strategies.
@@ -65,20 +68,22 @@ func (s *KronStrategy) Operator() kron.Linear {
 	return kron.NewProduct(factors...)
 }
 
-// GramInvs returns the cached per-factor (AᵀA)⁻¹ matrices.
+// GramInvs returns the cached per-factor (AᵀA)⁻¹ matrices. The cache is
+// computed once and safe for concurrent first use.
 func (s *KronStrategy) GramInvs() ([]*mat.Dense, error) {
-	if s.gramInvs == nil {
+	s.gramOnce.Do(func() {
 		gi := make([]*mat.Dense, len(s.Subs))
 		for i, sub := range s.Subs {
 			g, err := sub.GramInv()
 			if err != nil {
-				return nil, err
+				s.gramErr = err
+				return
 			}
 			gi[i] = g
 		}
 		s.gramInvs = gi
-	}
-	return s.gramInvs, nil
+	})
+	return s.gramInvs, s.gramErr
 }
 
 // Error implements Theorem 6: for W = Σⱼ wⱼ·W₁⁽ʲ⁾⊗···⊗W_d⁽ʲ⁾ and product

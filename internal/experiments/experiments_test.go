@@ -84,6 +84,12 @@ func TestTable6Positive(t *testing.T) {
 }
 
 func TestFig2BestAroundMiddle(t *testing.T) {
+	if raceEnabled {
+		// The p-sweep re-runs OPT₀ a dozen times (~40s); under the race
+		// detector that exceeds the test timeout. The concurrency it
+		// exercises is covered race-enabled by internal/core's tests.
+		t.Skip("skipping OPT₀ p-sweep under -race (order-of-magnitude slowdown)")
+	}
 	out := Fig2(ScaleSmall)
 	rows := parseRatios(t, out, 1)
 	// Relative error at p=1 must exceed the minimum (1.00) — the paper's

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race detector,
+// which slows the full-pipeline experiment tests by an order of magnitude.
+const raceEnabled = true

@@ -9,7 +9,21 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
+
+// SetWorkers sets the process-wide kernel worker bound used by Product and
+// Stack applications above the size threshold and returns the previous
+// setting. It is the same knob package mat and lsmr consult
+// (parallel.SetKernelWorkers). n <= 0 restores the default (GOMAXPROCS(0)).
+func SetWorkers(n int) int { return parallel.SetKernelWorkers(n) }
+
+// Workers reports the resolved worker count operator applications will use.
+func Workers() int { return parallel.KernelWorkers() }
+
+// kronParallelFlops is the per-factor multiply-add count above which a
+// Kronecker matvec step shards its output blocks across cores.
+const kronParallelFlops = 1 << 17
 
 // Linear is an implicitly represented linear operator.
 type Linear interface {
@@ -119,23 +133,39 @@ func kmatvec(factors []*mat.Dense, x []float64, transpose bool) []float64 {
 		// Z is rows×fc (row-major view of cur). We want Y = Z·Aᵀ (rows×fr),
 		// then "transpose" by writing Y in column-major so the next factor
 		// sees the right layout. Equivalent to Yi-1 = Ai·Zi in the paper.
-		for r := 0; r < rows; r++ {
-			zrow := cur[r*fc : r*fc+fc]
-			for q := 0; q < fr; q++ {
-				s := 0.0
-				if transpose {
-					// (Aᵀ)[q,*] = A[*,q]
-					for k := 0; k < fc; k++ {
-						s += f.At(k, q) * zrow[k]
+		// The rows of Z are independent output blocks, so above the size
+		// threshold they are sharded across cores; block r writes exactly
+		// out[q*rows+r] for each q, so shards never overlap and each element
+		// is one serial dot product — results are bit-identical at any
+		// worker count.
+		step := func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				zrow := cur[r*fc : r*fc+fc]
+				for q := 0; q < fr; q++ {
+					s := 0.0
+					if transpose {
+						// (Aᵀ)[q,*] = A[*,q]
+						for k := 0; k < fc; k++ {
+							s += f.At(k, q) * zrow[k]
+						}
+					} else {
+						arow := f.Row(q)
+						for k, v := range arow {
+							s += v * zrow[k]
+						}
 					}
-				} else {
-					arow := f.Row(q)
-					for k, v := range arow {
-						s += v * zrow[k]
-					}
+					out[q*rows+r] = s // transposed write
 				}
-				out[q*rows+r] = s // transposed write
 			}
+		}
+		if w := Workers(); w > 1 && rows*fr*fc >= kronParallelFlops {
+			minRows := kronParallelFlops / (fr * fc)
+			if minRows < 1 {
+				minRows = 1
+			}
+			parallel.ForChunked(w, rows, minRows, step)
+		} else {
+			step(0, rows)
 		}
 		cur = out
 		size = rows * fr
@@ -236,37 +266,75 @@ func (s *Stack) Dims() (int, int) {
 	return r, c
 }
 
-// MatVec stacks the per-block products.
-func (s *Stack) MatVec(dst, x []float64) {
-	off := 0
+// stackParallelCols is the column count above which Stack applications run
+// their blocks concurrently (below it per-block work is too small to fan out).
+const stackParallelCols = 1 << 12
+
+// offsets returns each block's starting row in the stacked output.
+func (s *Stack) offsets() []int {
+	offs := make([]int, len(s.Blocks)+1)
 	for i, b := range s.Blocks {
 		br, _ := b.Dims()
-		b.MatVec(dst[off:off+br], x)
+		offs[i+1] = offs[i] + br
+	}
+	return offs
+}
+
+// MatVec stacks the per-block products. Blocks write disjoint ranges of dst,
+// so above the size threshold they run concurrently.
+func (s *Stack) MatVec(dst, x []float64) {
+	offs := s.offsets()
+	apply := func(i int) {
+		b := s.Blocks[i]
+		lo, hi := offs[i], offs[i+1]
+		b.MatVec(dst[lo:hi], x)
 		if w := s.weight(i); w != 1 {
-			for j := off; j < off+br; j++ {
+			for j := lo; j < hi; j++ {
 				dst[j] *= w
 			}
 		}
-		off += br
+	}
+	_, c := s.Dims()
+	if w := Workers(); w > 1 && len(s.Blocks) > 1 && c >= stackParallelCols {
+		parallel.For(w, len(s.Blocks), apply)
+		return
+	}
+	for i := range s.Blocks {
+		apply(i)
 	}
 }
 
-// MatTVec sums the per-block transposed products.
+// MatTVec sums the per-block transposed products. Above the size threshold
+// the per-block products run concurrently into private buffers; the weighted
+// reduction then runs serially in block order, so the floating-point
+// summation order (and hence the result) is identical at any worker count.
 func (s *Stack) MatTVec(dst, y []float64) {
 	_, c := s.Dims()
 	for i := range dst {
 		dst[i] = 0
 	}
-	tmp := make([]float64, c)
-	off := 0
-	for i, b := range s.Blocks {
-		br, _ := b.Dims()
-		b.MatTVec(tmp, y[off:off+br])
-		w := s.weight(i)
-		for j, v := range tmp {
-			dst[j] += w * v
+	offs := s.offsets()
+	if w := Workers(); w > 1 && len(s.Blocks) > 1 && c >= stackParallelCols {
+		tmps := parallel.Map(w, len(s.Blocks), func(i int) []float64 {
+			tmp := make([]float64, c)
+			s.Blocks[i].MatTVec(tmp, y[offs[i]:offs[i+1]])
+			return tmp
+		})
+		for i, tmp := range tmps {
+			bw := s.weight(i)
+			for j, v := range tmp {
+				dst[j] += bw * v
+			}
 		}
-		off += br
+		return
+	}
+	tmp := make([]float64, c)
+	for i, b := range s.Blocks {
+		b.MatTVec(tmp, y[offs[i]:offs[i+1]])
+		bw := s.weight(i)
+		for j, v := range tmp {
+			dst[j] += bw * v
+		}
 	}
 }
 

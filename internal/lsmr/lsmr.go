@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/kron"
+	"repro/internal/parallel"
 )
 
 // Options controls the solver. Zero values select defaults.
@@ -16,7 +17,17 @@ type Options struct {
 	MaxIter int     // default 4·cols
 	Atol    float64 // default 1e-8
 	Btol    float64 // default 1e-8
+	// Workers bounds the cores used for the solver's O(n) vector updates
+	// (the matvecs parallelize inside package kron). <= 0 selects the
+	// process-wide kernel bound (parallel.SetKernelWorkers, default
+	// GOMAXPROCS(0)). Results are bit-identical at any value: the chunked
+	// updates are element-wise and the norm reductions stay serial.
+	Workers int
 }
+
+// lsmrParallelLen is the vector length above which the element-wise updates
+// are chunked across cores.
+const lsmrParallelLen = 1 << 16
 
 // Result reports the solution and convergence information.
 type Result struct {
@@ -86,20 +97,39 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 	tmpRows := make([]float64, rows)
 	tmpCols := make([]float64, cols)
 
+	// chunked shards an element-wise update across cores when the vector is
+	// long enough to amortize the fan-out; each index is written by exactly
+	// one chunk, so results match the serial loop bit-for-bit.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parallel.KernelWorkers()
+	}
+	chunked := func(n int, f func(lo, hi int)) {
+		if workers > 1 && n >= lsmrParallelLen {
+			parallel.ForChunked(workers, n, lsmrParallelLen/4, f)
+			return
+		}
+		f(0, n)
+	}
+
 	res := Result{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// Bidiagonalization step: β·u = A·v − α·u ; α·v = Aᵀ·u − β·v.
 		a.MatVec(tmpRows, v)
-		for i := range u {
-			u[i] = tmpRows[i] - alpha*u[i]
-		}
+		chunked(rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u[i] = tmpRows[i] - alpha*u[i]
+			}
+		})
 		beta = norm2(u)
 		if beta > 0 {
 			scale(1/beta, u)
 			a.MatTVec(tmpCols, u)
-			for i := range v {
-				v[i] = tmpCols[i] - beta*v[i]
-			}
+			chunked(cols, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v[i] = tmpCols[i] - beta*v[i]
+				}
+			})
 			alpha = norm2(v)
 			if alpha > 0 {
 				scale(1/alpha, v)
@@ -125,19 +155,17 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 		zeta = cbar * zetabar
 		zetabar = -sbar * zetabar
 
-		// Update h̄, x, h.
+		// Update h̄, x, h (fused into one pass per chunk).
 		coef1 := thetabar * rho / (rhoold * rhobarold)
-		for i := range hbar {
-			hbar[i] = h[i] - coef1*hbar[i]
-		}
 		coef2 := zeta / (rho * rhobar)
-		for i := range x {
-			x[i] += coef2 * hbar[i]
-		}
 		coef3 := thetanew / rho
-		for i := range h {
-			h[i] = v[i] - coef3*h[i]
-		}
+		chunked(cols, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hbar[i] = h[i] - coef1*hbar[i]
+				x[i] += coef2 * hbar[i]
+				h[i] = v[i] - coef3*h[i]
+			}
+		})
 
 		// Residual-norm estimates (from the LSMR paper §5).
 		betaacute := chat * betadd

@@ -1,0 +1,112 @@
+package mat
+
+import (
+	"repro/internal/parallel"
+)
+
+// SetWorkers sets the process-wide kernel worker bound used by Mul/MulTN/
+// MulNT above the size threshold and returns the previous setting. It is the
+// same knob package kron and lsmr consult (parallel.SetKernelWorkers), so
+// one call throttles the whole numeric pipeline. n <= 0 restores the default
+// (GOMAXPROCS(0)).
+func SetWorkers(n int) int { return parallel.SetKernelWorkers(n) }
+
+// MulWorkers reports the resolved worker count the multiply kernels will use.
+func MulWorkers() int { return parallel.KernelWorkers() }
+
+const (
+	// parallelFlops is the multiply-add count above which the kernels shard
+	// across cores; below it goroutine fan-out costs more than it saves.
+	parallelFlops = 1 << 18
+	// kBlock is the k-panel size of the cache-blocked shard kernels: a panel
+	// of B (kBlock × n floats) stays resident in L2 while a shard's rows
+	// stream over it.
+	kBlock = 256
+)
+
+// shardRows splits r output rows into contiguous chunks of at least enough
+// rows to amortize a goroutine, then runs kernel on each chunk in parallel.
+// Every output element is written by exactly one chunk and each chunk
+// accumulates over k in the same increasing order as the serial kernels, so
+// the result is bit-identical to the serial path for any worker count.
+func shardRows(workers, r, flopsPerRow int, kernel func(lo, hi int)) {
+	minRows := 1
+	if flopsPerRow > 0 {
+		minRows = parallelFlops / flopsPerRow
+		if minRows < 1 {
+			minRows = 1
+		}
+	}
+	parallel.ForChunked(workers, r, minRows, kernel)
+}
+
+// mulShard computes rows [lo, hi) of dst = A·B with the k-panel-blocked
+// i-k-j kernel. Accumulation order over k matches Mul's serial loop.
+func mulShard(dst, a, b *Dense, lo, hi int) {
+	n := b.c
+	for kk := 0; kk < a.c; kk += kBlock {
+		kmax := kk + kBlock
+		if kmax > a.c {
+			kmax = a.c
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := dst.Row(i)
+			for k := kk; k < kmax; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*n : k*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// mulTNShard computes rows [lo, hi) of dst = Aᵀ·B. The serial MulTN loop is
+// k-outer/i-inner; restricting i to the shard and blocking k preserves the
+// per-element accumulation order exactly.
+func mulTNShard(dst, a, b *Dense, lo, hi int) {
+	n := b.c
+	for kk := 0; kk < a.r; kk += kBlock {
+		kmax := kk + kBlock
+		if kmax > a.r {
+			kmax = a.r
+		}
+		for k := kk; k < kmax; k++ {
+			arow := a.Row(k)
+			brow := b.data[k*n : k*n+n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := dst.data[i*n : i*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// mulNTShard computes rows [lo, hi) of dst = A·Bᵀ; each output element is an
+// independent dot product, identical to the serial kernel restricted to the
+// shard.
+func mulNTShard(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for j := 0; j < b.r; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, r, c int, sparsity float64) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		if rng.Float64() < sparsity {
+			continue // keep exact zeros so the zero-skip paths are exercised
+		}
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestParallelKernelsMatchSerial drives the sharded kernels directly (so the
+// size threshold cannot hide them) across odd shapes — 1×n, n×1, primes, and
+// dimensions that do not divide the k-panel or the shard count — and demands
+// agreement with the serial kernels to 1e-12. The kernels preserve the serial
+// accumulation order, so agreement is in fact bit-exact.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	shapes := [][3]int{ // m×k · k×n
+		{1, 1, 1},
+		{1, 300, 1},
+		{300, 1, 300},
+		{1, 7, 513},
+		{513, 7, 1},
+		{3, 257, 5},
+		{17, 1000, 13},
+		{129, 300, 67},
+	}
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomDense(rng, m, k, 0.2)
+		b := randomDense(rng, k, n, 0.2)
+		at := a.T()
+		bt := b.T()
+
+		wantMul := Mul(nil, a, b)
+		wantTN := MulTN(nil, at, b)
+		wantNT := MulNT(nil, a, bt)
+
+		for _, workers := range []int{2, 3, 8} {
+			gotMul := NewDense(m, n)
+			shardRows(workers, m, k*n, func(lo, hi int) { mulShard(gotMul, a, b, lo, hi) })
+			if d := MaxAbsDiff(gotMul, wantMul); d > 1e-12 {
+				t.Fatalf("Mul %dx%d·%dx%d workers=%d: max diff %g", m, k, k, n, workers, d)
+			}
+
+			gotTN := NewDense(m, n)
+			shardRows(workers, m, k*n, func(lo, hi int) { mulTNShard(gotTN, at, b, lo, hi) })
+			if d := MaxAbsDiff(gotTN, wantTN); d > 1e-12 {
+				t.Fatalf("MulTN workers=%d shape %v: max diff %g", workers, sh, d)
+			}
+
+			gotNT := NewDense(m, n)
+			shardRows(workers, m, k*n, func(lo, hi int) { mulNTShard(gotNT, a, bt, lo, hi) })
+			if d := MaxAbsDiff(gotNT, wantNT); d > 1e-12 {
+				t.Fatalf("MulNT workers=%d shape %v: max diff %g", workers, sh, d)
+			}
+		}
+	}
+}
+
+// TestPublicMulDispatchBitIdentical pushes a multiply over the size threshold
+// through the public API at several worker settings and requires bit-identical
+// results (the determinism contract the optimizers rely on).
+func TestPublicMulDispatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	m, k, n := 130, 70, 131 // 130·70·131 ≈ 1.19M ≥ parallelFlops, nothing divides evenly
+	a := randomDense(rng, m, k, 0.1)
+	b := randomDense(rng, k, n, 0.1)
+	at := a.T()
+	bt := b.T()
+
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	wantMul := Mul(nil, a, b)
+	wantTN := MulTN(nil, at, b)
+	wantNT := MulNT(nil, a, bt)
+
+	for _, workers := range []int{2, 4, 7} {
+		SetWorkers(workers)
+		for name, pair := range map[string][2]*Dense{
+			"Mul":   {Mul(nil, a, b), wantMul},
+			"MulTN": {MulTN(nil, at, b), wantTN},
+			"MulNT": {MulNT(nil, a, bt), wantNT},
+		} {
+			got, want := pair[0], pair[1]
+			for i := range want.data {
+				if got.data[i] != want.data[i] {
+					t.Fatalf("%s workers=%d: element %d = %g want %g (not bit-identical)",
+						name, workers, i, got.data[i], want.data[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package parallel provides the bounded worker-pool primitives behind HDMM's
+// multi-core execution: indexed fan-out with deterministic result ordering,
+// contiguous range sharding for data-parallel kernels, and per-task seed
+// derivation so randomized algorithms produce bit-identical results at any
+// worker count.
+//
+// Two properties make the layer safe to sprinkle through numerical code:
+//
+//   - Determinism. Work is always identified by an index; task i writes only
+//     slot i (Map) or its own contiguous range (ForChunked). Which goroutine
+//     runs task i is scheduler-dependent, but what task i computes and where
+//     the result lands is not, so outputs are bit-identical for any Workers
+//     value — including Workers=1, which runs inline with no goroutines.
+//
+//   - Bounded concurrency under nesting. All helpers draw helper-goroutine
+//     permits from one process-wide token bucket sized GOMAXPROCS(0). An
+//     inner parallel region that finds the bucket empty (because outer
+//     restarts already occupy the cores) simply runs on its caller's
+//     goroutine instead of oversubscribing. Acquisition never blocks, so
+//     nesting cannot deadlock.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the process-wide helper-goroutine budget. The calling goroutine
+// always participates in its own loop for free; only extra goroutines cost a
+// token, so total running workers stay near GOMAXPROCS however deeply
+// parallel regions nest.
+var tokens = make(chan struct{}, maxTokens())
+
+func maxTokens() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func init() {
+	for i := 0; i < cap(tokens); i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Workers resolves a Workers option: values <= 0 select GOMAXPROCS(0).
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// kernelSetting is the process-wide worker bound for the data-parallel
+// kernels (dense GEMM sharding in mat, Kronecker matvec and stack fan-out in
+// kron, LSMR vector updates): 0 (the default) resolves to GOMAXPROCS(0), 1
+// forces the serial paths. It is one shared knob on purpose — a caller
+// throttling kernel CPU use sets it once instead of hunting down a setting
+// per package.
+var kernelSetting atomic.Int64
+
+// SetKernelWorkers sets the process-wide kernel worker bound and returns the
+// previous setting. n <= 0 restores the default (GOMAXPROCS(0)).
+func SetKernelWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(kernelSetting.Swap(int64(n)))
+}
+
+// KernelWorkers reports the resolved kernel worker bound.
+func KernelWorkers() int {
+	return Workers(int(kernelSetting.Load()))
+}
+
+// For runs f(i) for every i in [0, n) on up to workers goroutines (the
+// caller's included) and returns when all calls have completed. Tasks are
+// handed out through an atomic counter, so scheduling is dynamic but each
+// index is executed exactly once. workers <= 1 runs inline.
+func For(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			f(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < workers-1; spawned++ {
+		select {
+		case <-tokens:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					tokens <- struct{}{}
+					wg.Done()
+				}()
+				run()
+			}()
+		default:
+			// Bucket empty: the cores are already busy with outer parallel
+			// work. Degrade to fewer helpers rather than oversubscribe.
+			break spawn
+		}
+	}
+	run() // the caller works too
+	wg.Wait()
+}
+
+// ForChunked splits [0, n) into contiguous chunks of at least minChunk
+// elements and runs f(lo, hi) for each chunk, on up to workers goroutines.
+// Each index belongs to exactly one chunk, so disjoint-range writes are
+// race-free and element order within a chunk matches the serial loop.
+func ForChunked(workers, n, minChunk int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	// Floor division so every chunk really has >= minChunk elements
+	// (callers size minChunk as a fan-out amortization threshold).
+	chunks := n / minChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		f(0, n)
+		return
+	}
+	// Even split; the first (n mod chunks) chunks get one extra element.
+	size, rem := n/chunks, n%chunks
+	bounds := make([]int, chunks+1)
+	for c := 0; c < chunks; c++ {
+		bounds[c+1] = bounds[c] + size
+		if c < rem {
+			bounds[c+1]++
+		}
+	}
+	For(workers, chunks, func(c int) {
+		f(bounds[c], bounds[c+1])
+	})
+}
+
+// Map runs f(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order — the deterministic fan-out used by
+// random-restart optimizers.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) {
+		out[i] = f(i)
+	})
+	return out
+}
+
+// DeriveSeed maps a base seed and a task index to an independent stream seed
+// via a splitmix64 finalizer over seed ⊕ (a distinct odd multiplier of the
+// index). It is a pure function of (seed, task), so restart r sees the same
+// initialization whether it runs first on one core or last on sixteen —
+// unlike drawing seeds sequentially from a shared RNG, where the draw order
+// (and under concurrency, a data race) couples results to scheduling.
+func DeriveSeed(seed, task uint64) uint64 {
+	z := seed ^ ((task + 1) * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

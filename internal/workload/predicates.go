@@ -9,9 +9,24 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 )
+
+// gramCache lazily computes and memoizes a Gram matrix. Predicate sets are
+// shared across concurrent optimizer restarts, so the cache must be safe for
+// simultaneous first use; sync.Once also guarantees every caller sees the
+// same matrix instance.
+type gramCache struct {
+	once sync.Once
+	g    *mat.Dense
+}
+
+func (c *gramCache) get(build func() *mat.Dense) *mat.Dense {
+	c.once.Do(func() { c.g = build() })
+	return c.g
+}
 
 // PredicateSet is a set of 0/1 predicates over a single attribute with
 // domain size Cols(), viewed as a Rows()×Cols() binary matrix.
@@ -57,7 +72,7 @@ func IsTotalOrIdentity(ps PredicateSet) bool {
 type Explicit struct {
 	m    *mat.Dense
 	name string
-	gram *mat.Dense
+	gram gramCache
 }
 
 // NewExplicit wraps m (not copied) as a predicate set.
@@ -72,10 +87,7 @@ func (e *Explicit) CanMaterialize() bool { return true }
 func (e *Explicit) Name() string         { return e.name }
 
 func (e *Explicit) Gram() *mat.Dense {
-	if e.gram == nil {
-		e.gram = mat.Gram(nil, e.m)
-	}
-	return e.gram
+	return e.gram.get(func() *mat.Dense { return mat.Gram(nil, e.m) })
 }
 
 func (e *Explicit) ColCounts() []float64 {
@@ -121,7 +133,7 @@ func (p total) ColCounts() []float64 { return constVec(p.n, 1) }
 // prefix is the Prefix predicate set P: ranges [0, i] for every i.
 type prefix struct {
 	n    int
-	gram *mat.Dense
+	gram gramCache
 }
 
 // Prefix returns the CDF workload {a1 ≤ t.A ≤ ai | ai ∈ dom(A)}.
@@ -135,16 +147,15 @@ func (p *prefix) Name() string         { return fmt.Sprintf("P(%d)", p.n) }
 // Gram of Prefix: element i is in prefixes i..n-1, so
 // (WᵀW)[i,j] = #{k : k >= max(i,j)} = n - max(i,j).
 func (p *prefix) Gram() *mat.Dense {
-	if p.gram == nil {
+	return p.gram.get(func() *mat.Dense {
 		g := mat.NewDense(p.n, p.n)
 		for i := 0; i < p.n; i++ {
 			for j := 0; j < p.n; j++ {
 				g.Set(i, j, float64(p.n-maxInt(i, j)))
 			}
 		}
-		p.gram = g
-	}
-	return p.gram
+		return g
+	})
 }
 
 func (p *prefix) Matrix() *mat.Dense {
@@ -174,7 +185,7 @@ func (p *prefix) ColCounts() []float64 {
 // allRange is the AllRange predicate set R: every interval [i, j].
 type allRange struct {
 	n    int
-	gram *mat.Dense
+	gram gramCache
 }
 
 // AllRange returns the set of all n(n+1)/2 range queries on the attribute.
@@ -188,7 +199,7 @@ func (p *allRange) Name() string         { return fmt.Sprintf("R(%d)", p.n) }
 // Gram of AllRange: ranges containing both i and j are [a,b] with
 // a <= min(i,j) and b >= max(i,j), so (WᵀW)[i,j] = (min+1)·(n-max).
 func (p *allRange) Gram() *mat.Dense {
-	if p.gram == nil {
+	return p.gram.get(func() *mat.Dense {
 		g := mat.NewDense(p.n, p.n)
 		for i := 0; i < p.n; i++ {
 			for j := 0; j < p.n; j++ {
@@ -199,9 +210,8 @@ func (p *allRange) Gram() *mat.Dense {
 				g.Set(i, j, float64((lo+1)*(p.n-hi)))
 			}
 		}
-		p.gram = g
-	}
-	return p.gram
+		return g
+	})
 }
 
 func (p *allRange) Matrix() *mat.Dense {
@@ -235,7 +245,7 @@ func (p *allRange) ColCounts() []float64 {
 // widthRange contains all ranges of a fixed width w: [i, i+w-1].
 type widthRange struct {
 	n, w int
-	gram *mat.Dense
+	gram gramCache
 }
 
 // WidthRange returns the n-w+1 range queries of width exactly w.
@@ -254,16 +264,15 @@ func (p *widthRange) Name() string         { return fmt.Sprintf("W%d(%d)", p.w, 
 // Gram: windows [s, s+w-1] containing both i and j require
 // max(i,j)-w+1 <= s <= min(i,j), intersected with 0 <= s <= n-w.
 func (p *widthRange) Gram() *mat.Dense {
-	if p.gram == nil {
+	return p.gram.get(func() *mat.Dense {
 		g := mat.NewDense(p.n, p.n)
 		for i := 0; i < p.n; i++ {
 			for j := 0; j < p.n; j++ {
 				g.Set(i, j, float64(p.overlap(i, j)))
 			}
 		}
-		p.gram = g
-	}
-	return p.gram
+		return g
+	})
 }
 
 func (p *widthRange) overlap(i, j int) int {
@@ -308,7 +317,7 @@ func (p *widthRange) ColCounts() []float64 {
 type permuted struct {
 	base PredicateSet
 	perm []int // column j of permuted = column perm[j] of base
-	gram *mat.Dense
+	gram gramCache
 }
 
 // Permute shuffles the domain of base with perm (perm[j] gives the base
@@ -333,7 +342,7 @@ func (p *permuted) CanMaterialize() bool { return p.base.CanMaterialize() }
 func (p *permuted) Name() string         { return "perm:" + p.base.Name() }
 
 func (p *permuted) Gram() *mat.Dense {
-	if p.gram == nil {
+	return p.gram.get(func() *mat.Dense {
 		bg := p.base.Gram()
 		n := p.Cols()
 		g := mat.NewDense(n, n)
@@ -343,9 +352,8 @@ func (p *permuted) Gram() *mat.Dense {
 				g.Set(i, j, bg.At(bi, p.perm[j]))
 			}
 		}
-		p.gram = g
-	}
-	return p.gram
+		return g
+	})
 }
 
 func (p *permuted) Matrix() *mat.Dense {
