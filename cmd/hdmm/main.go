@@ -1,22 +1,35 @@
-// Command hdmm answers a workload of predicate counting queries over a CSV
-// dataset under ε-differential privacy using the High-Dimensional Matrix
-// Mechanism.
+// Command hdmm answers workloads of predicate counting queries over CSV
+// datasets under differential privacy using the High-Dimensional Matrix
+// Mechanism. It follows HDMM's "optimize once, measure once, answer many"
+// lifecycle with three modes:
+//
+//	hdmm optimize -domain 2,115 -query I,R -cache DIR        # precompute + persist strategy
+//	hdmm serve -domain 2,115 -query I,R -cache DIR -eps 1 data.csv   # load strategy, answer
+//	hdmm -domain 2,115 -query I,R -eps 1.0 data.csv          # legacy one-shot run
+//
+// optimize runs strategy selection (the expensive, data-independent step)
+// and stores the result in the on-disk strategy registry at -cache, keyed
+// by a canonical fingerprint of the workload and the selection options.
+// serve resolves the same key — loading the persisted strategy instead of
+// re-optimizing when one exists — measures the dataset once, and answers
+// either the workload itself or the query products listed in -queries.
 //
 // The dataset is a headerless CSV of non-negative integers, one record per
 // line, one column per attribute. The domain is given as comma-separated
 // attribute sizes; the workload as a comma-separated list of per-attribute
-// predicate-set specs joined by "x", one product per -query flag (repeatable):
-//
-//	hdmm -domain 2,115 -query I,R -query T,P -eps 1.0 data.csv
-//
-// Specs: I (identity), T (total), P (prefixes), R (all ranges), W<k>
-// (width-k ranges). Output: one line per query with the private answer.
+// predicate-set specs joined per product, one product per -query flag
+// (repeatable). Specs: I (identity), T (total), P (prefixes), R (all
+// ranges), W<k> (width-k ranges). Output: one line per query with the
+// private answer.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -24,68 +37,287 @@ import (
 	hdmm "repro"
 )
 
-type queryFlags []string
-
-func (q *queryFlags) String() string     { return strings.Join(*q, ";") }
-func (q *queryFlags) Set(v string) error { *q = append(*q, v); return nil }
-
 func main() {
-	domainFlag := flag.String("domain", "", "comma-separated attribute sizes, e.g. 2,115")
-	epsFlag := flag.Float64("eps", 1.0, "privacy budget ε")
-	seedFlag := flag.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
-	restartsFlag := flag.Int("restarts", 5, "strategy-selection restarts")
-	workersFlag := flag.Int("workers", 0, "cores for strategy selection and numeric kernels (0 = all; results are identical for any value)")
-	var queries queryFlags
-	flag.Var(&queries, "query", "workload product, e.g. I,R (repeatable)")
-	flag.Parse()
-
-	if *domainFlag == "" || len(queries) == 0 || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hdmm -domain n1,n2,... -query spec [-query spec ...] [-eps ε] data.csv")
-		os.Exit(2)
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 {
+		switch args[0] {
+		case "optimize":
+			err = cmdOptimize(args[1:], os.Stdout, os.Stderr)
+		case "serve":
+			err = cmdServe(args[1:], os.Stdout, os.Stderr)
+		case "run":
+			err = cmdRun(args[1:], os.Stdout, os.Stderr)
+		default:
+			err = cmdRun(args, os.Stdout, os.Stderr)
+		}
+	} else {
+		err = cmdRun(args, os.Stdout, os.Stderr)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdmm:", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
 
-	sizes, err := parseInts(*domainFlag)
-	check(err)
+// usageError distinguishes bad invocations (exit 2) from runtime failures.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// workloadFlags is the flag set shared by every mode: domain + products.
+type workloadFlags struct {
+	fs      *flag.FlagSet
+	domain  *string
+	queries queryFlags
+}
+
+func newWorkloadFlags(name string) *workloadFlags {
+	wf := &workloadFlags{fs: flag.NewFlagSet(name, flag.ContinueOnError)}
+	wf.domain = wf.fs.String("domain", "", "comma-separated attribute sizes, e.g. 2,115")
+	wf.fs.Var(&wf.queries, "query", "workload product, e.g. I,R (repeatable)")
+	return wf
+}
+
+// workload parses the -domain and -query flags into a workload.
+func (wf *workloadFlags) workload() (*hdmm.Workload, []int, error) {
+	if *wf.domain == "" || len(wf.queries) == 0 {
+		return nil, nil, usageError("missing -domain or -query")
+	}
+	sizes, err := parseInts(*wf.domain)
+	if err != nil {
+		return nil, nil, err
+	}
 	attrs := make([]hdmm.Attribute, len(sizes))
 	for i, n := range sizes {
 		attrs[i] = hdmm.Attribute{Name: fmt.Sprintf("A%d", i), Size: n}
 	}
 	dom := hdmm.NewDomain(attrs...)
-
-	products := make([]hdmm.Product, 0, len(queries))
-	for _, q := range queries {
-		specs := strings.Split(q, ",")
-		if len(specs) != len(sizes) {
-			check(fmt.Errorf("query %q has %d specs, domain has %d attributes", q, len(specs), len(sizes)))
+	products := make([]hdmm.Product, 0, len(wf.queries))
+	for _, q := range wf.queries {
+		p, err := parseProduct(q, sizes)
+		if err != nil {
+			return nil, nil, err
 		}
-		terms := make([]hdmm.PredicateSet, len(specs))
-		for i, s := range specs {
-			terms[i], err = parseSpec(s, sizes[i])
-			check(err)
-		}
-		products = append(products, hdmm.NewProduct(terms...))
+		products = append(products, p)
 	}
 	w, err := hdmm.NewWorkload(dom, products...)
-	check(err)
+	return w, sizes, err
+}
 
-	records, err := readCSV(flag.Arg(0), sizes)
-	check(err)
-	x := dom.DataVector(records)
+type queryFlags []string
 
-	hdmm.SetWorkers(*workersFlag) // kernel-level bound; Selection.Workers bounds the restart fan-out
-	res, err := hdmm.Run(w, x, *epsFlag, hdmm.Options{
-		Seed:      *seedFlag,
-		Selection: hdmm.SelectOptions{Restarts: *restartsFlag, Workers: *workersFlag},
+func (q *queryFlags) String() string     { return strings.Join(*q, ";") }
+func (q *queryFlags) Set(v string) error { *q = append(*q, v); return nil }
+
+// cmdOptimize precomputes a strategy and persists it in the registry.
+func cmdOptimize(args []string, stdout, stderr io.Writer) error {
+	wf := newWorkloadFlags("optimize")
+	cache := wf.fs.String("cache", "", "strategy registry directory (required)")
+	restarts := wf.fs.Int("restarts", 5, "strategy-selection restarts")
+	optseed := wf.fs.Uint64("optseed", 0, "strategy-selection seed")
+	workers := wf.fs.Int("workers", 0, "cores (0 = all; results are identical for any value)")
+	wf.fs.SetOutput(stderr)
+	if err := wf.fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return usageError(err.Error())
+	}
+	if *cache == "" {
+		return usageError("optimize requires -cache DIR")
+	}
+	w, _, err := wf.workload()
+	if err != nil {
+		return err
+	}
+
+	hdmm.SetWorkers(*workers)
+	opts := hdmm.SelectOptions{Restarts: *restarts, Seed: *optseed, Workers: *workers, CacheDir: *cache}
+	key, sel, fromCache, err := hdmm.Optimize(w, opts)
+	if err != nil {
+		return err
+	}
+	action := "optimized"
+	if fromCache {
+		action = "already optimized"
+	}
+	rmse := math.Sqrt(2 * sel.Err / float64(w.NumQueries()))
+	fmt.Fprintf(stderr, "%s %d-query workload: operator %s, expected per-query RMSE at ε=1: %.4f\n",
+		action, w.NumQueries(), sel.Operator, rmse)
+	fmt.Fprintf(stderr, "strategy %s stored in %s\n", key, *cache)
+	fmt.Fprintln(stdout, key)
+	return nil
+}
+
+// cmdServe loads (or computes) a strategy, measures the dataset once, and
+// answers queries.
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	wf := newWorkloadFlags("serve")
+	cache := wf.fs.String("cache", "", "strategy registry directory")
+	eps := wf.fs.Float64("eps", 1.0, "privacy budget ε")
+	delta := wf.fs.Float64("delta", 0, "privacy parameter δ (0 = Laplace, >0 = Gaussian)")
+	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
+	restarts := wf.fs.Int("restarts", 5, "strategy-selection restarts (cache-miss fallback)")
+	optseed := wf.fs.Uint64("optseed", 0, "strategy-selection seed (must match optimize)")
+	workers := wf.fs.Int("workers", 0, "cores (0 = all; results are identical for any value)")
+	queryFile := wf.fs.String("queries", "", "file of extra query products to answer (one spec per line)")
+	wf.fs.SetOutput(stderr)
+	if err := wf.fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return usageError(err.Error())
+	}
+	if wf.fs.NArg() != 1 {
+		return usageError("serve requires exactly one data.csv argument")
+	}
+	w, sizes, err := wf.workload()
+	if err != nil {
+		return err
+	}
+	records, err := readCSV(wf.fs.Arg(0), sizes)
+	if err != nil {
+		return err
+	}
+	x := w.Domain.DataVector(records)
+
+	hdmm.SetWorkers(*workers)
+	eng, err := hdmm.NewEngine(w, x, *eps, hdmm.EngineOptions{
+		Selection: hdmm.SelectOptions{Restarts: *restarts, Seed: *optseed, Workers: *workers, CacheDir: *cache},
+		Delta:     *delta,
+		Seed:      *seed,
+		Workers:   *workers,
 	})
-	check(err)
+	if err != nil {
+		return err
+	}
+	source := "computed"
+	if eng.FromCache() {
+		source = "cache"
+	}
+	fmt.Fprintf(stderr, "strategy: %s (%s), predicted per-query RMSE at ε=%g: %.3f\n",
+		eng.Operator(), source, *eps, eng.ExpectedRMSE())
 
-	fmt.Fprintf(os.Stderr, "strategy: %s, predicted per-query RMSE at ε=%g: %.3f\n",
-		res.Operator, *epsFlag, res.ExpectedRMSE)
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	for _, a := range res.Answers {
+	var answers []float64
+	if *queryFile != "" {
+		products, err := readQueryFile(*queryFile, sizes)
+		if err != nil {
+			return err
+		}
+		parts, err := eng.Answer(products)
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			answers = append(answers, p...)
+		}
+	} else {
+		answers, err = eng.AnswerWorkload(w)
+		if err != nil {
+			return err
+		}
+	}
+	return writeAnswers(stdout, answers)
+}
+
+// cmdRun is the legacy one-shot mode: select, measure, answer in one go.
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	wf := newWorkloadFlags("run")
+	eps := wf.fs.Float64("eps", 1.0, "privacy budget ε")
+	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
+	restarts := wf.fs.Int("restarts", 5, "strategy-selection restarts")
+	workers := wf.fs.Int("workers", 0, "cores for strategy selection and numeric kernels (0 = all; results are identical for any value)")
+	wf.fs.SetOutput(stderr)
+	if err := wf.fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return usageError(err.Error())
+	}
+	if wf.fs.NArg() != 1 {
+		return usageError("usage: hdmm [run|optimize|serve] -domain n1,n2,... -query spec [-query spec ...] [-eps ε] data.csv")
+	}
+	w, sizes, err := wf.workload()
+	if err != nil {
+		return err
+	}
+	records, err := readCSV(wf.fs.Arg(0), sizes)
+	if err != nil {
+		return err
+	}
+	x := w.Domain.DataVector(records)
+
+	hdmm.SetWorkers(*workers) // kernel-level bound; Selection.Workers bounds the restart fan-out
+	res, err := hdmm.Run(w, x, *eps, hdmm.Options{
+		Seed:      *seed,
+		Selection: hdmm.SelectOptions{Restarts: *restarts, Workers: *workers},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "strategy: %s, predicted per-query RMSE at ε=%g: %.3f\n",
+		res.Operator, *eps, res.ExpectedRMSE)
+	return writeAnswers(stdout, res.Answers)
+}
+
+func writeAnswers(w io.Writer, answers []float64) error {
+	out := bufio.NewWriter(w)
+	for _, a := range answers {
 		fmt.Fprintf(out, "%.3f\n", a)
 	}
+	return out.Flush()
+}
+
+func parseProduct(q string, sizes []int) (hdmm.Product, error) {
+	specs := strings.Split(q, ",")
+	if len(specs) != len(sizes) {
+		return hdmm.Product{}, fmt.Errorf("query %q has %d specs, domain has %d attributes", q, len(specs), len(sizes))
+	}
+	terms := make([]hdmm.PredicateSet, len(specs))
+	for i, s := range specs {
+		t, err := parseSpec(s, sizes[i])
+		if err != nil {
+			return hdmm.Product{}, err
+		}
+		terms[i] = t
+	}
+	return hdmm.NewProduct(terms...), nil
+}
+
+// readQueryFile parses one product spec per line ("I,R"); blank lines and
+// #-comments are skipped.
+func readQueryFile(path string, sizes []int) ([]hdmm.Product, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var products []hdmm.Product
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := parseProduct(text, sizes)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		products = append(products, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(products) == 0 {
+		return nil, fmt.Errorf("%s: no query products", path)
+	}
+	return products, nil
 }
 
 func parseSpec(s string, n int) (hdmm.PredicateSet, error) {
@@ -151,11 +383,4 @@ func readCSV(path string, sizes []int) ([][]int, error) {
 		records = append(records, rec)
 	}
 	return records, sc.Err()
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hdmm:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hdmm "repro"
+	"repro/internal/core"
+)
+
+// writeTestData writes a small (sex, age∈[0,16)) CSV dataset.
+func writeTestData(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i%2, (i*7)%16)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// expectedServeOutput runs the same pipeline in-process through the public
+// API and formats the answers exactly as the CLI does.
+func expectedServeOutput(t *testing.T, seed uint64) string {
+	t.Helper()
+	dom := hdmm.NewDomain(hdmm.Attribute{Name: "A0", Size: 2}, hdmm.Attribute{Name: "A1", Size: 16})
+	w, err := hdmm.NewWorkload(dom,
+		hdmm.NewProduct(hdmm.Identity(2), hdmm.AllRange(16)),
+		hdmm.NewProduct(hdmm.Total(2), hdmm.Prefix(16)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records [][]int
+	for i := 0; i < 40; i++ {
+		records = append(records, []int{i % 2, (i * 7) % 16})
+	}
+	x := dom.DataVector(records)
+	res, err := hdmm.Run(w, x, 1.0, hdmm.Options{
+		Seed:      seed,
+		Selection: hdmm.SelectOptions{Restarts: 2, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	for _, a := range res.Answers {
+		fmt.Fprintf(&out, "%.3f\n", a)
+	}
+	return out.String()
+}
+
+// TestOptimizeThenServe is the acceptance test of the optimize→cache→serve
+// lifecycle: a strategy optimized by `hdmm optimize` is loaded — not
+// re-optimized — by a later `hdmm serve` over the same cache directory
+// (zero optimizer restarts during serve), and the served answers are
+// byte-identical to a direct in-process mechanism run with the same seed.
+func TestOptimizeThenServe(t *testing.T) {
+	data := writeTestData(t)
+	cache := t.TempDir()
+	workloadArgs := []string{"-domain", "2,16", "-query", "I,R", "-query", "T,P"}
+
+	var optOut, optErr bytes.Buffer
+	optArgs := append([]string{"-cache", cache, "-restarts", "2", "-optseed", "9"}, workloadArgs...)
+	if err := cmdOptimize(optArgs, &optOut, &optErr); err != nil {
+		t.Fatalf("optimize: %v\n%s", err, optErr.String())
+	}
+	key := strings.TrimSpace(optOut.String())
+	if key == "" {
+		t.Fatal("optimize printed no key")
+	}
+	if _, err := os.Stat(filepath.Join(cache, key+".strat")); err != nil {
+		t.Fatalf("optimize did not persist the strategy: %v", err)
+	}
+
+	serveArgs := append([]string{"-cache", cache, "-restarts", "2", "-optseed", "9", "-eps", "1", "-seed", "123"}, workloadArgs...)
+	serveArgs = append(serveArgs, data)
+	var srvOut, srvErr bytes.Buffer
+	before := core.RestartsPerformed()
+	if err := cmdServe(serveArgs, &srvOut, &srvErr); err != nil {
+		t.Fatalf("serve: %v\n%s", err, srvErr.String())
+	}
+	if d := core.RestartsPerformed() - before; d != 0 {
+		t.Fatalf("serve performed %d optimizer restarts, want 0 (strategy was cached)", d)
+	}
+	if !strings.Contains(srvErr.String(), "(cache)") {
+		t.Fatalf("serve did not report a cache hit: %s", srvErr.String())
+	}
+	if got, want := srvOut.String(), expectedServeOutput(t, 123); got != want {
+		t.Fatalf("served answers differ from direct in-process run\n got: %q\nwant: %q",
+			firstLines(got, 3), firstLines(want, 3))
+	}
+}
+
+// TestServeQueryFile: -queries answers ad-hoc products from a file against
+// the cached measurement instead of the workload itself.
+func TestServeQueryFile(t *testing.T) {
+	data := writeTestData(t)
+	qf := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(qf, []byte("# total count per sex\nI,T\nT,I\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-domain", "2,16", "-query", "I,R", "-restarts", "1", "-seed", "5", "-queries", qf, data}
+	var out, errb bytes.Buffer
+	if err := cmdServe(args, &out, &errb); err != nil {
+		t.Fatalf("serve -queries: %v\n%s", err, errb.String())
+	}
+	// I,T has 2 answers, T,I has 16: one line each.
+	if got := strings.Count(out.String(), "\n"); got != 18 {
+		t.Fatalf("serve -queries printed %d answers, want 18", got)
+	}
+}
+
+// TestLegacyRun: the original flag-only invocation still works.
+func TestLegacyRun(t *testing.T) {
+	data := writeTestData(t)
+	args := []string{"-domain", "2,16", "-query", "I,R", "-query", "T,P", "-restarts", "2", "-seed", "123", data}
+	var out, errb bytes.Buffer
+	if err := cmdRun(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "strategy:") {
+		t.Fatalf("missing strategy diagnostics: %s", errb.String())
+	}
+	want := expectedServeOutput(t, 123)
+	// The legacy mode uses selection seed 0, not 9, so only check shape.
+	if strings.Count(out.String(), "\n") != strings.Count(want, "\n") {
+		t.Fatalf("legacy run printed %d answers, want %d",
+			strings.Count(out.String(), "\n"), strings.Count(want, "\n"))
+	}
+}
+
+// TestUsageErrors: malformed invocations fail with usage errors.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := cmdOptimize([]string{"-domain", "2,16", "-query", "I,R"}, &out, &errb); err == nil {
+		t.Error("optimize without -cache accepted")
+	}
+	if err := cmdServe([]string{"-domain", "2,16", "-query", "I,R"}, &out, &errb); err == nil {
+		t.Error("serve without data file accepted")
+	}
+	if err := cmdRun([]string{"-domain", "2,16", "nodata.csv"}, &out, &errb); err == nil {
+		t.Error("run without -query accepted")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

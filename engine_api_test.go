@@ -1,0 +1,100 @@
+package hdmm_test
+
+import (
+	"testing"
+
+	hdmm "repro"
+)
+
+// TestOptimizeInProcessReuse: two Optimize calls with the same workload and
+// options share the process-wide in-memory registry even with no CacheDir —
+// the second is a cache hit.
+func TestOptimizeInProcessReuse(t *testing.T) {
+	w, err := hdmm.NewWorkload(
+		hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 2}, hdmm.Attribute{Name: "b", Size: 12}),
+		hdmm.NewProduct(hdmm.Identity(2), hdmm.AllRange(12)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hdmm.SelectOptions{Restarts: 1, Seed: 77}
+
+	key1, sel1, _, err := hdmm.Optimize(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, sel2, fromCache, err := hdmm.Optimize(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromCache {
+		t.Error("second Optimize call did not hit the in-process registry")
+	}
+	if key1 != key2 || sel1.Err != sel2.Err || sel1.Operator != sel2.Operator {
+		t.Errorf("repeat Optimize disagreed: (%s, %v, %s) vs (%s, %v, %s)",
+			key1, sel1.Err, sel1.Operator, key2, sel2.Err, sel2.Operator)
+	}
+}
+
+// TestEngineReusesOptimize: an engine constructed after Optimize with the
+// same options loads the strategy instead of re-selecting.
+func TestEngineReusesOptimize(t *testing.T) {
+	w, err := hdmm.NewWorkload(
+		hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 2}, hdmm.Attribute{Name: "b", Size: 14}),
+		hdmm.NewProduct(hdmm.Identity(2), hdmm.Prefix(14)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hdmm.SelectOptions{Restarts: 1, Seed: 78}
+	key, _, _, err := hdmm.Optimize(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, w.Domain.Size())
+	eng, err := hdmm.NewEngine(w, x, 1.0, hdmm.EngineOptions{Selection: opts, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.FromCache() {
+		t.Error("engine re-optimized a strategy Optimize had already cached")
+	}
+	if eng.Key() != key {
+		t.Errorf("engine key %s, Optimize key %s", eng.Key(), key)
+	}
+}
+
+// TestFingerprintPermutedCustomSet: hdmm.Permute over a predicate set that
+// does not implement the canonicalization fast path must fingerprint via
+// the Gram fallback, not panic.
+func TestFingerprintPermutedCustomSet(t *testing.T) {
+	base := opaqueSet{hdmm.AllRange(8)}
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	w, err := hdmm.NewWorkload(
+		hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 8}),
+		hdmm.NewProduct(hdmm.Permute(base, perm)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := hdmm.Fingerprint(w) // must not panic
+	if len(fp) != 64 {
+		t.Fatalf("bad fingerprint %q", fp)
+	}
+	w2, err := hdmm.NewWorkload(
+		hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 8}),
+		hdmm.NewProduct(hdmm.Permute(base, []int{0, 1, 2, 3, 4, 5, 6, 7})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdmm.Fingerprint(w2) == fp {
+		t.Error("different permutations of a custom set fingerprint equal")
+	}
+}
+
+// opaqueSet simulates a user-defined predicate set: embedding the
+// PredicateSet interface promotes only its methods, so the wrapped value's
+// Canonical (not part of the interface) is hidden and the fingerprint must
+// take the Gram-hash fallback.
+type opaqueSet struct{ hdmm.PredicateSet }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything written. A reader goroutine drains concurrently so output
+// larger than the pipe buffer cannot deadlock.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	return <-done
+}
+
+// TestQuickstart runs the example end to end: it must complete without
+// panicking and report a selected strategy and an empirical RMSE.
+func TestQuickstart(t *testing.T) {
+	out := captureStdout(t, main)
+	for _, want := range []string{
+		"workload:",
+		"selected strategy:",
+		"empirical per-query RMSE:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything written.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	return <-done
+}
+
+// TestRangeQueries runs the Table 4 example end to end: every baseline
+// section must be present, and the reported HDMM ratio lines confirm the
+// comparisons completed.
+func TestRangeQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 1-D/2-D baseline comparison (~5s)")
+	}
+	out := captureStdout(t, main)
+	for _, want := range []string{
+		"1-D all range queries",
+		"Privelet",
+		"GreedyH",
+		"permuted range queries",
+		"2-D all range queries",
+		"QuadTree",
+		"HDMM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -36,7 +36,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/kron"
 	"repro/internal/mech"
+	"repro/internal/registry"
 	"repro/internal/schema"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -166,7 +168,7 @@ func Run(w *Workload, x []float64, eps float64, opts Options) (*Result, error) {
 	}
 	rng := opts.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewPCG(opts.Seed, 0xd9e)) // deterministic if Seed set
+		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream)) // deterministic if Seed set
 	}
 	res, err := mech.Run(w, x, eps, rng, mech.Options{
 		Selection:      opts.Selection,
@@ -184,6 +186,79 @@ func Run(w *Workload, x []float64, eps float64, opts Options) (*Result, error) {
 	}, nil
 }
 
+// Engine is the answer-serving runtime: it resolves a measurement strategy
+// through the strategy registry (reusing one optimized earlier for the same
+// workload and selection options — in this process via the in-memory LRU,
+// or in any process via the on-disk store at SelectOptions.CacheDir),
+// measures the data once, and then answers unlimited batched query
+// requests concurrently as privacy-free post-processing.
+type Engine = serve.Engine
+
+// EngineOptions configures NewEngine. Cache placement comes from the
+// Selection field: SelectOptions.CacheDir persists optimized strategies on
+// disk and SelectOptions.CacheEntries bounds the in-memory LRU.
+type EngineOptions struct {
+	// Selection controls strategy search on a cache miss, and its
+	// CacheDir/CacheEntries fields place the strategy registry.
+	Selection SelectOptions
+	// Delta selects the mechanism: 0 = ε-DP Laplace, (0,1) = (ε,δ)-DP
+	// Gaussian.
+	Delta float64
+	// Seed makes the private noise reproducible; answers are byte-identical
+	// to Run/RunGaussian with the same seed and selection options.
+	Seed uint64
+	// Rand overrides the noise source (optional).
+	Rand *rand.Rand
+	// Workers bounds the goroutines answering one batch (<= 0: all cores);
+	// answers are bit-identical for any value.
+	Workers int
+}
+
+// NewEngine builds a serving engine for the workload at privacy budget eps:
+// optimize (or load) once, measure once, answer many.
+func NewEngine(w *Workload, x []float64, eps float64, opts EngineOptions) (*Engine, error) {
+	return serve.NewEngine(w, x, eps, serve.Options{
+		Selection: opts.Selection,
+		Delta:     opts.Delta,
+		Seed:      opts.Seed,
+		Rand:      opts.Rand,
+		Workers:   opts.Workers,
+	})
+}
+
+// Optimize runs strategy selection for (w, opts) and persists the winner in
+// the strategy registry at opts.CacheDir (opts.CacheEntries bounds the
+// in-memory LRU), so later Engine constructions — in this process or any
+// other sharing the cache directory — load it instead of re-optimizing. It
+// returns the registry cache key, the selection, and whether the strategy
+// came from the cache (true) or was optimized by this call (false).
+// Selection never looks at data and consumes no privacy budget.
+func Optimize(w *Workload, opts SelectOptions) (key string, sel *Selected, fromCache bool, err error) {
+	reg, err := registry.Shared(opts.CacheDir, opts.CacheEntries)
+	if err != nil {
+		return "", nil, false, err
+	}
+	key = registry.Key(w, opts)
+	rec, fromCache, err := reg.GetOrCompute(key, func() (*registry.Record, error) {
+		return core.Select(w, opts) // registry.Record is core.Selected
+	})
+	if err != nil {
+		return "", nil, false, err
+	}
+	return key, rec, fromCache, nil
+}
+
+// Fingerprint returns the canonical hex fingerprint of a workload's
+// structure: invariant to product order, sensitive to domain shape, query
+// structure, and weights. Two workloads with equal fingerprints are
+// answered by the same cached strategies.
+func Fingerprint(w *Workload) string { return registry.FingerprintHex(w) }
+
+// StrategyKey returns the content address under which the strategy selected
+// for (w, opts) is cached by the registry. Options that cannot change the
+// selection (Workers, cache placement) do not affect the key.
+func StrategyKey(w *Workload, opts SelectOptions) string { return registry.Key(w, opts) }
+
 // WeightForRelativeError reweights a workload inversely with average query
 // support, the Section 9 heuristic that approximately optimizes relative
 // (instead of absolute) error for near-uniform data.
@@ -200,7 +275,7 @@ func RunGaussian(w *Workload, x []float64, eps, delta float64, opts Options) (*R
 	}
 	rng := opts.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewPCG(opts.Seed, 0xd9e))
+		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream))
 	}
 	sel, err := core.Select(w, opts.Selection)
 	if err != nil {

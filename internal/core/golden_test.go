@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// Golden regression fixtures: expected total squared error ‖W·A⁺‖²_F (at
+// sensitivity 1, the 2/ε² factor omitted) of each optimization operator on
+// the paper's workload shapes, at fixed seeds. Selection is deterministic
+// for a fixed seed at any worker count, so these values are stable; the
+// tolerance absorbs only benign float-rounding drift from refactors
+// (reordered accumulation), not quality regressions.
+//
+// If an intentional optimizer improvement moves a value, update the fixture
+// in the same commit and note the old value in the commit message.
+const (
+	goldenTol = 1e-3 // relative; ~10⁻³ is far below any real quality change
+
+	// OPT₀ on the 1-D all-range workload R(64) (Table 4's setting, scaled
+	// down), Restarts 3, Seed 1. Identity baseline: 45760.
+	goldenOPT0AllRange64 = 33227.08642
+
+	// OPT⊗ on the quickstart shape I(2)×R(64) ∪ T(2)×P(64), Restarts 2,
+	// Seed 1. Identity baseline: 95680.
+	goldenOPTKron2D = 67124.52959
+
+	// OPT_M on census-style marginals: all ≤2-way marginals over a
+	// (2,2,7,8) domain (the SF-1 shape scaled down), Restarts 3, Seed 1.
+	// Identity baseline: 2464.
+	goldenOPTMargCensus = 2360.9129
+)
+
+func checkGolden(t *testing.T, name string, got, golden, identityErr float64) {
+	t.Helper()
+	if rel := math.Abs(got/golden - 1); rel > goldenTol {
+		t.Errorf("%s: err = %.10g, golden fixture %.10g (relative drift %.2e > %g)",
+			name, got, golden, rel, goldenTol)
+	}
+	if got >= identityErr {
+		t.Errorf("%s: err %.10g not better than the Identity baseline %.10g",
+			name, got, identityErr)
+	}
+}
+
+// TestGoldenOPT0 locks OPT₀'s strategy quality on 1-D range queries.
+func TestGoldenOPT0(t *testing.T) {
+	y := workload.AllRange(64).Gram()
+	_, e := OPT0(y, OPT0Options{Restarts: 3, Seed: 1})
+	identityErr := 0.0
+	for i := 0; i < 64; i++ {
+		identityErr += y.At(i, i)
+	}
+	checkGolden(t, "OPT0/AllRange(64)", e, goldenOPT0AllRange64, identityErr)
+}
+
+// TestGoldenOPTKron locks OPT⊗'s quality on the 2-attribute union shape.
+func TestGoldenOPTKron(t *testing.T) {
+	w := workload.MustNew(schema.Sizes(2, 64),
+		workload.NewProduct(workload.Identity(2), workload.AllRange(64)),
+		workload.NewProduct(workload.Total(2), workload.Prefix(64)),
+	)
+	_, e, err := OPTKron(w, OPTKronOptions{Restarts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "OPTKron/2D", e, goldenOPTKron2D, w.GramTrace())
+}
+
+// TestGoldenOPTMarg locks OPT_M's quality on census-style marginals.
+func TestGoldenOPTMarg(t *testing.T) {
+	dom := schema.Sizes(2, 2, 7, 8)
+	w := workload.UpToKWayMarginals(dom, 2)
+	_, e, err := OPTMarg(w, OPTMargOptions{Restarts: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "OPTMarg/census", e, goldenOPTMargCensus, w.GramTrace())
+}
+
+// TestGoldenRepeatable: the fixtures above are meaningful only because
+// selection with a fixed seed is exactly repeatable — two in-process runs
+// must agree to the bit, not just to the golden tolerance.
+func TestGoldenRepeatable(t *testing.T) {
+	y := workload.AllRange(64).Gram()
+	_, e1 := OPT0(y, OPT0Options{Restarts: 3, Seed: 1})
+	_, e2 := OPT0(y, OPT0Options{Restarts: 3, Seed: 1})
+	if e1 != e2 {
+		t.Fatalf("OPT0 not repeatable at fixed seed: %.17g vs %.17g", e1, e2)
+	}
+}

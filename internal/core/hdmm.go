@@ -1,9 +1,20 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/parallel"
 	"repro/internal/workload"
 )
+
+// restartCounter counts optimizer restart slots executed by Select since
+// process start. The serving layer's cache tests read it to prove that a
+// cached strategy really skipped optimization (zero restarts performed).
+var restartCounter atomic.Int64
+
+// RestartsPerformed reports the total number of Select restart slots
+// executed by this process so far.
+func RestartsPerformed() int64 { return restartCounter.Load() }
 
 // HDMMOptions controls the OPT_HDMM driver (Algorithm 2).
 type HDMMOptions struct {
@@ -24,6 +35,37 @@ type HDMMOptions struct {
 	// GOMAXPROCS(0), so the machine is never oversubscribed regardless of
 	// either setting. The selected strategy is bit-identical for any value.
 	Workers int
+
+	// CacheDir and CacheEntries configure the strategy registry consumed by
+	// the serving layer (internal/registry, internal/serve): CacheDir is the
+	// on-disk store for optimized strategies ("" disables persistence) and
+	// CacheEntries bounds the in-memory LRU (<= 0 selects the default).
+	// Selection itself ignores both, and neither participates in the cache
+	// key — the same workload/options pair hits the same cached strategy
+	// regardless of where the cache lives.
+	CacheDir     string
+	CacheEntries int
+}
+
+// Normalized returns the options with defaults applied — including the
+// sub-optimizer scalar defaults, so a zero-value Kron/Marg config and an
+// explicitly spelled-out default config agree — and all fields that cannot
+// affect the selected strategy (Workers, cache placement) zeroed. Two
+// option values with equal Normalized() forms select bit-identical
+// strategies, which is what the registry's cache key relies on. Kron.P is
+// deliberately left as given: a nil P is resolved against each (sub-)
+// workload at optimization time (OPT⁺ resolves it per group), so nil and
+// an explicit DefaultP(w) are genuinely different configurations.
+func (o HDMMOptions) Normalized() HDMMOptions {
+	o = o.withDefaults()
+	o.Kron = o.Kron.scalarDefaults()
+	o.Marg = o.Marg.withDefaults()
+	o.Workers = 0
+	o.Kron.Workers = 0
+	o.Marg.Workers = 0
+	o.CacheDir = ""
+	o.CacheEntries = 0
+	return o
 }
 
 func (o HDMMOptions) withDefaults() HDMMOptions {
@@ -67,6 +109,7 @@ func Select(w *workload.Workload, opts HDMMOptions) (*Selected, error) {
 	}
 
 	candidates := parallel.Map(opts.Workers, opts.Restarts, func(s int) []*Selected {
+		restartCounter.Add(1)
 		seed := opts.Seed*1_000_003 + uint64(s)
 		var cands []*Selected
 

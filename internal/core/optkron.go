@@ -24,6 +24,13 @@ func (o OPTKronOptions) withDefaults(w *workload.Workload) OPTKronOptions {
 	if o.P == nil {
 		o.P = DefaultP(w)
 	}
+	return o.scalarDefaults()
+}
+
+// scalarDefaults applies every default that does not depend on the
+// workload; HDMMOptions.Normalized reuses it so zero values and explicit
+// defaults produce the same registry cache key.
+func (o OPTKronOptions) scalarDefaults() OPTKronOptions {
 	if o.Restarts <= 0 {
 		o.Restarts = 1
 	}

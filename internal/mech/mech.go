@@ -16,6 +16,11 @@ import (
 	"repro/internal/workload"
 )
 
+// RNGStream is the PCG stream constant every seeded entry point uses
+// (hdmm.Run, hdmm.RunGaussian, the serving engine). One shared constant is
+// what makes "same seed ⇒ byte-identical noise" hold across entry points.
+const RNGStream = 0xd9e
+
 // Laplace draws one sample from the Laplace distribution with mean 0 and
 // scale b via inverse-CDF sampling.
 func Laplace(rng *rand.Rand, b float64) float64 {
@@ -101,28 +106,40 @@ func Run(w *workload.Workload, x []float64, eps float64, rng *rand.Rand, opts Op
 	return res, nil
 }
 
+// AnswerProduct evaluates one query product on a (possibly private)
+// data-vector estimate: ans = weight·(W₁⊗···⊗W_d)·x̂, materializing only
+// the small per-attribute matrices (pᵢ×nᵢ each). Both the one-shot
+// pipeline (AnswerWorkload) and the serving engine answer through this
+// function, so their results cannot diverge.
+func AnswerProduct(p workload.Product, x []float64) ([]float64, error) {
+	ms := make([]*mat.Dense, len(p.Terms))
+	for i, t := range p.Terms {
+		if !t.CanMaterialize() {
+			return nil, fmt.Errorf("term %d (%s) too large to answer explicitly", i, t.Name())
+		}
+		ms[i] = t.Matrix()
+	}
+	op := kron.NewProduct(ms...)
+	rows, _ := op.Dims()
+	ans := make([]float64, rows)
+	op.MatVec(ans, x)
+	if p.Weight != 1 {
+		for i := range ans {
+			ans[i] *= p.Weight
+		}
+	}
+	return ans, nil
+}
+
 // AnswerWorkload evaluates all workload queries on a (possibly private)
 // data-vector estimate: ans = W·x̂, using implicit Kronecker products per
 // union term. Every predicate set must be materializable per attribute.
 func AnswerWorkload(w *workload.Workload, x []float64) ([]float64, error) {
 	out := make([]float64, 0, w.NumQueries())
 	for pi, p := range w.Products {
-		// Materialize the per-attribute matrices (small: pi×ni each).
-		ms := make([]*mat.Dense, len(p.Terms))
-		for i, t := range p.Terms {
-			if !t.CanMaterialize() {
-				return nil, fmt.Errorf("mech: product %d term %d (%s) too large to answer explicitly", pi, i, t.Name())
-			}
-			ms[i] = t.Matrix()
-		}
-		op := kron.NewProduct(ms...)
-		rows, _ := op.Dims()
-		ans := make([]float64, rows)
-		op.MatVec(ans, x)
-		if p.Weight != 1 {
-			for i := range ans {
-				ans[i] *= p.Weight
-			}
+		ans, err := AnswerProduct(p, x)
+		if err != nil {
+			return nil, fmt.Errorf("mech: product %d %w", pi, err)
 		}
 		out = append(out, ans...)
 	}

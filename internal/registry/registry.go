@@ -1,0 +1,261 @@
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultMemEntries is the in-memory LRU capacity when the caller does not
+// set one. Strategies are small (kilobytes), so the default errs generous.
+const DefaultMemEntries = 64
+
+// fileExt is the on-disk strategy file suffix; files are named by cache key.
+const fileExt = ".strat"
+
+// Registry is a two-level strategy cache: an in-memory LRU in front of an
+// optional on-disk store. All methods are safe for concurrent use, and
+// GetOrCompute collapses concurrent misses on the same key into a single
+// computation (every waiter gets the one result).
+type Registry struct {
+	dir string // "" = memory only
+
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*list.Element // key -> element whose Value is *entry
+	order    *list.List               // front = most recently used
+	inflight map[string]*flight
+}
+
+type entry struct {
+	key string
+	rec *Record
+}
+
+type flight struct {
+	done      chan struct{}
+	rec       *Record
+	err       error
+	fromCache bool
+}
+
+// shared holds one process-wide Registry per cache directory, so every
+// Engine construction and Optimize call against the same store shares one
+// LRU and one singleflight domain — in-process reuse works even with no
+// disk directory.
+var (
+	sharedMu   sync.Mutex
+	sharedRegs = map[string]*Registry{}
+)
+
+// Shared returns the process-wide registry for dir, creating it on first
+// use. The instance is keyed by the cleaned directory path alone —
+// splitting it by spelling ("cache" vs "./cache") or by LRU capacity would
+// fragment the cache and the singleflight domain — so the first caller's
+// memEntries (<= 0 selects DefaultMemEntries) fixes the capacity and later
+// values are ignored.
+func Shared(dir string, memEntries int) (*Registry, error) {
+	if dir != "" {
+		dir = filepath.Clean(dir)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if r, ok := sharedRegs[dir]; ok {
+		return r, nil
+	}
+	r, err := Open(dir, memEntries)
+	if err != nil {
+		return nil, err
+	}
+	sharedRegs[dir] = r
+	return r, nil
+}
+
+// Open creates a registry. dir is the on-disk store directory (created if
+// missing; "" keeps the registry memory-only). memEntries bounds the
+// in-memory LRU; <= 0 selects DefaultMemEntries. Most callers want Shared
+// instead, which reuses one instance per placement process-wide.
+func Open(dir string, memEntries int) (*Registry, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: creating store dir: %w", err)
+		}
+	}
+	if memEntries <= 0 {
+		memEntries = DefaultMemEntries
+	}
+	return &Registry{
+		dir:      dir,
+		capacity: memEntries,
+		items:    make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}, nil
+}
+
+// Dir returns the on-disk store directory ("" for memory-only registries).
+func (r *Registry) Dir() string { return r.dir }
+
+// Len reports the number of in-memory entries (for tests and diagnostics).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Path returns the on-disk file a key is stored at, or "" if memory-only.
+func (r *Registry) Path(key string) string {
+	if r.dir == "" {
+		return ""
+	}
+	return filepath.Join(r.dir, key+fileExt)
+}
+
+// Get looks a key up in memory, then on disk. It returns (rec, true, nil)
+// on a hit, (nil, false, nil) on a clean miss, and (nil, false, err) when a
+// disk blob exists but is corrupted or unreadable.
+func (r *Registry) Get(key string) (*Record, bool, error) {
+	if rec := r.memGet(key); rec != nil {
+		return rec, true, nil
+	}
+	if r.dir == "" {
+		return nil, false, nil
+	}
+	blob, err := os.ReadFile(r.Path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("registry: reading %s: %w", r.Path(key), err)
+	}
+	rec, err := Decode(blob)
+	if err != nil {
+		return nil, false, fmt.Errorf("registry: %s: %w", r.Path(key), err)
+	}
+	r.memPut(key, rec)
+	return rec, true, nil
+}
+
+// Put stores a record on disk (if the registry has a directory) and then
+// in memory. The disk write is atomic (temp file + rename), so a
+// concurrent reader never observes a half-written strategy; the memory
+// insert happens only after the persist succeeds, so a failed Put leaves
+// no cached record that would mask the failure from retries.
+func (r *Registry) Put(key string, rec *Record) error {
+	if r.dir == "" {
+		r.memPut(key, rec)
+		return nil
+	}
+	blob, err := Encode(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(r.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: writing strategy: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: writing strategy: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: writing strategy: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), r.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: writing strategy: %w", err)
+	}
+	r.memPut(key, rec)
+	return nil
+}
+
+// GetOrCompute returns the cached record for key, computing and storing it
+// on a miss. Concurrent callers with the same key share one computation.
+// fromCache reports whether the record was served from memory or disk; a
+// corrupted disk blob is treated as a miss and overwritten by the fresh
+// result. Persistence is best-effort: when the computation succeeds but
+// the store cannot hold it (unwritable directory, or a strategy outside
+// the codec's bounds), the computed record is still returned and kept in
+// memory — a configured cache must never make serving fail where no cache
+// would succeed. Use Put directly for strict persistence semantics.
+func (r *Registry) GetOrCompute(key string, compute func() (*Record, error)) (rec *Record, fromCache bool, err error) {
+	r.mu.Lock()
+	if el, ok := r.items[key]; ok {
+		r.order.MoveToFront(el)
+		rec = el.Value.(*entry).rec
+		r.mu.Unlock()
+		return rec, true, nil
+	}
+	if f, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.rec, f.fromCache, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.mu.Unlock()
+
+	f.rec, f.fromCache, f.err = r.fill(key, compute)
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(f.done)
+	return f.rec, f.fromCache, f.err
+}
+
+// fill loads key from disk or computes it, storing the result.
+func (r *Registry) fill(key string, compute func() (*Record, error)) (*Record, bool, error) {
+	if r.dir != "" {
+		if blob, err := os.ReadFile(r.Path(key)); err == nil {
+			if rec, err := Decode(blob); err == nil {
+				r.memPut(key, rec)
+				return rec, true, nil
+			}
+			// Corrupted blob: fall through and recompute over it.
+		}
+	}
+	rec, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := r.Put(key, rec); err != nil {
+		// Best-effort persistence: the computation is good, so serve it and
+		// keep it in memory rather than failing a call that would have
+		// succeeded with no cache configured.
+		r.memPut(key, rec)
+	}
+	return rec, false, nil
+}
+
+// memGet returns the in-memory record for key, refreshing its LRU slot.
+func (r *Registry) memGet(key string) *Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[key]
+	if !ok {
+		return nil
+	}
+	r.order.MoveToFront(el)
+	return el.Value.(*entry).rec
+}
+
+// memPut inserts key into the in-memory LRU, evicting from the back.
+func (r *Registry) memPut(key string, rec *Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.items[key]; ok {
+		el.Value.(*entry).rec = rec
+		r.order.MoveToFront(el)
+		return
+	}
+	r.items[key] = r.order.PushFront(&entry{key: key, rec: rec})
+	for len(r.items) > r.capacity {
+		back := r.order.Back()
+		r.order.Remove(back)
+		delete(r.items, back.Value.(*entry).key)
+	}
+}

@@ -1,0 +1,281 @@
+// Package serve is HDMM's answer-serving runtime. HDMM's cost structure is
+// "optimize once, measure once, answer many": strategy selection is the
+// expensive step, the private measurement touches the data exactly once,
+// and every query answered afterwards is privacy-free post-processing on
+// the reconstructed estimate x̂. An Engine bundles that lifecycle — it loads
+// a previously optimized strategy from the registry (or computes and stores
+// one), runs the measurement once at construction, and then answers
+// arbitrary batched query requests concurrently, deterministically for a
+// fixed seed at any worker count.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/mech"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Selection controls strategy search on a cache miss; its CacheDir and
+	// CacheEntries fields place the strategy registry (see Registry below).
+	Selection core.HDMMOptions
+	// Delta selects the measurement mechanism: 0 runs the ε-DP Laplace
+	// mechanism, a value in (0,1) runs the (ε,δ)-DP Gaussian mechanism
+	// calibrated to the strategy's L2 sensitivity.
+	Delta float64
+	// Seed makes the private noise reproducible. Production deployments
+	// must leave Seed zero and supply their own entropy via Rand.
+	Seed uint64
+	// Rand overrides the noise source (optional).
+	Rand *rand.Rand
+	// Workers bounds the goroutines answering one batch (<= 0: all cores).
+	// Answers are bit-identical for any value.
+	Workers int
+	// Registry overrides the strategy cache. When nil, the Engine uses the
+	// process-wide shared registry for Selection.CacheDir/CacheEntries
+	// (memory-only if CacheDir is ""), so engines built at different times
+	// in one process reuse each other's strategies.
+	Registry *registry.Registry
+}
+
+// Engine serves private answers for one workload at one privacy budget.
+// Construction performs the entire privacy-relevant work (strategy lookup
+// or optimization, one private measurement, least-squares reconstruction);
+// afterwards the engine holds only the private estimate x̂ and every Answer
+// call is pure post-processing — unlimited queries at no extra privacy
+// cost.
+type Engine struct {
+	w         *workload.Workload
+	strategy  core.Strategy
+	operator  string
+	errF      float64 // ‖W·A⁺‖²_F at sensitivity 1
+	xhat      []float64
+	workers   int
+	fromCache bool
+	key       string
+	rootMSE   float64
+}
+
+// NewEngine builds a serving engine: it resolves the strategy through the
+// registry (reusing any strategy optimized earlier for the same workload
+// and selection options, in this process or any other sharing the cache
+// directory), measures the data vector once with budget eps (plus
+// opts.Delta for Gaussian), and reconstructs x̂. The result satisfies ε-DP
+// (δ=0) or (ε,δ)-DP.
+func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*Engine, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("serve: epsilon must be positive, got %v", eps)
+	}
+	if opts.Delta < 0 || opts.Delta >= 1 {
+		return nil, fmt.Errorf("serve: delta must be in [0, 1), got %v", opts.Delta)
+	}
+	if len(x) != w.Domain.Size() {
+		return nil, fmt.Errorf("serve: data vector has length %d, domain size is %d", len(x), w.Domain.Size())
+	}
+
+	reg := opts.Registry
+	if reg == nil {
+		// The shared per-directory instance, so engines built at different
+		// times in one process reuse the same in-memory LRU even when
+		// CacheDir is unset.
+		var err error
+		reg, err = registry.Shared(opts.Selection.CacheDir, opts.Selection.CacheEntries)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	key := registry.Key(w, opts.Selection)
+	rec, fromCache, err := reg.GetOrCompute(key, func() (*registry.Record, error) {
+		return core.Select(w, opts.Selection) // registry.Record is core.Selected
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream))
+	}
+	// Keys bind strategies to workloads by content address, but nothing
+	// stops an operator from renaming .strat files between cache dirs; a
+	// mismatched strategy must fail here with an error, not panic inside
+	// the measurement or silently reconstruct under the wrong
+	// factorization.
+	if err := strategyMatchesWorkload(rec.Strategy, w); err != nil {
+		return nil, fmt.Errorf("serve: cached strategy %s does not fit the workload (stale or foreign cache entry?): %w", key, err)
+	}
+	op := rec.Strategy.Operator()
+	var y []float64
+	var rootMSE float64
+	if opts.Delta > 0 {
+		y = mech.MeasureGaussian(op, x, eps, opts.Delta, rng)
+		sigma := mech.GaussianSigma(mech.L2Sensitivity(op), eps, opts.Delta)
+		rootMSE = sigma * math.Sqrt(rec.Err/float64(w.NumQueries()))
+	} else {
+		y = mech.Measure(op, x, eps, rng)
+		rootMSE = math.Sqrt(2*rec.Err/float64(w.NumQueries())) / eps
+	}
+	xhat, err := rec.Strategy.Reconstruct(y)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Engine{
+		w:         w,
+		strategy:  rec.Strategy,
+		operator:  rec.Operator,
+		errF:      rec.Err,
+		xhat:      xhat,
+		workers:   opts.Workers,
+		fromCache: fromCache,
+		key:       key,
+		rootMSE:   rootMSE,
+	}, nil
+}
+
+// strategyMatchesWorkload checks a cached strategy's shape against the
+// workload's domain, per attribute where the strategy has per-attribute
+// structure. Comparing only the total column count would let a strategy
+// over a different factorization of the same domain size (e.g. [3,2] vs
+// [2,3]) slip through and reconstruct silently wrong answers.
+func strategyMatchesWorkload(s core.Strategy, w *workload.Workload) error {
+	sizes := w.Domain.AttrSizes()
+	checkKron := func(k *core.KronStrategy) error {
+		if len(k.Subs) != len(sizes) {
+			return fmt.Errorf("strategy has %d Kronecker factors, domain has %d attributes", len(k.Subs), len(sizes))
+		}
+		for i, sub := range k.Subs {
+			if sub.N() != sizes[i] {
+				return fmt.Errorf("factor %d covers %d domain elements, attribute has %d", i, sub.N(), sizes[i])
+			}
+		}
+		return nil
+	}
+	switch st := s.(type) {
+	case *core.KronStrategy:
+		return checkKron(st)
+	case *core.UnionStrategy:
+		for _, part := range st.Parts {
+			if err := checkKron(part); err != nil {
+				return err
+			}
+		}
+		for g, idx := range st.Groups {
+			for _, j := range idx {
+				if j < 0 || j >= len(w.Products) {
+					return fmt.Errorf("group %d references product %d, workload has %d", g, j, len(w.Products))
+				}
+			}
+		}
+		return nil
+	case *core.MarginalStrategy:
+		ss := st.Space.Sizes()
+		if len(ss) != len(sizes) {
+			return fmt.Errorf("strategy lattice has %d attributes, domain has %d", len(ss), len(sizes))
+		}
+		for i := range ss {
+			if ss[i] != sizes[i] {
+				return fmt.Errorf("lattice attribute %d has size %d, domain attribute has %d", i, ss[i], sizes[i])
+			}
+		}
+		return nil
+	default:
+		// Strategies without per-attribute structure (Identity): the total
+		// column count is the whole shape.
+		if _, cols := s.Operator().Dims(); cols != w.Domain.Size() {
+			return fmt.Errorf("strategy covers %d domain cells, workload domain has %d", cols, w.Domain.Size())
+		}
+		return nil
+	}
+}
+
+// Strategy returns the measurement strategy the engine serves from.
+func (e *Engine) Strategy() core.Strategy { return e.strategy }
+
+// Operator names the optimization operator that produced the strategy.
+func (e *Engine) Operator() string { return e.operator }
+
+// FromCache reports whether the strategy was loaded from the registry
+// rather than optimized by this engine.
+func (e *Engine) FromCache() bool { return e.fromCache }
+
+// Key returns the registry cache key of the engine's strategy.
+func (e *Engine) Key() string { return e.key }
+
+// ExpectedRMSE is the predicted per-query root-mean-squared error of the
+// engine's own workload at the construction-time budget.
+func (e *Engine) ExpectedRMSE() float64 { return e.rootMSE }
+
+// ExpectedErr is the strategy's expected total squared error ‖W·A⁺‖²_F at
+// sensitivity 1 (the stored Selected.Err; multiply by 2/ε² for a budget).
+func (e *Engine) ExpectedErr() float64 { return e.errF }
+
+// Xhat returns the private estimate of the data vector. Callers must treat
+// it as read-only; every function of it is privacy-free post-processing.
+func (e *Engine) Xhat() []float64 { return e.xhat }
+
+// Answer evaluates a batch of query products against the private estimate,
+// returning one answer vector per product (the product's queries in
+// row-major order, scaled by its weight). Products run concurrently on up
+// to Workers goroutines; slot i of the result depends only on products[i],
+// so the output is bit-identical at any worker count. Each product must
+// span the engine's domain and have materializable per-attribute predicate
+// sets.
+func (e *Engine) Answer(products []workload.Product) ([][]float64, error) {
+	type slot struct {
+		ans []float64
+		err error
+	}
+	results := parallel.Map(e.workers, len(products), func(i int) slot {
+		ans, err := e.answerProduct(products[i])
+		return slot{ans, err}
+	})
+	out := make([][]float64, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("serve: product %d: %w", i, r.err)
+		}
+		out[i] = r.ans
+	}
+	return out, nil
+}
+
+// AnswerWorkload answers every query of a workload over the same domain,
+// flattened in workload order — the serving counterpart of
+// mech.AnswerWorkload, evaluated concurrently on the private estimate.
+func (e *Engine) AnswerWorkload(w *workload.Workload) ([]float64, error) {
+	if w.Domain.Size() != e.w.Domain.Size() {
+		return nil, fmt.Errorf("serve: workload domain size %d, engine domain size %d", w.Domain.Size(), e.w.Domain.Size())
+	}
+	parts, err := e.Answer(w.Products)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, w.NumQueries())
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// answerProduct validates a product against the engine's domain and
+// evaluates it on x̂ through the same helper as the one-shot pipeline.
+func (e *Engine) answerProduct(p workload.Product) ([]float64, error) {
+	if len(p.Terms) != e.w.Domain.NumAttrs() {
+		return nil, fmt.Errorf("has %d terms, domain has %d attributes", len(p.Terms), e.w.Domain.NumAttrs())
+	}
+	for i, t := range p.Terms {
+		if t.Cols() != e.w.Domain.Attr(i).Size {
+			return nil, fmt.Errorf("term %d has %d columns, attribute has size %d", i, t.Cols(), e.w.Domain.Attr(i).Size)
+		}
+	}
+	return mech.AnswerProduct(p, e.xhat)
+}

@@ -8,7 +8,12 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/mat"
@@ -53,6 +58,41 @@ type PredicateSet interface {
 // maxExplicitCells bounds how many matrix cells Matrix() will materialize.
 const maxExplicitCells = 64 << 20
 
+// Canonicalizer is the optional interface behind workload fingerprinting
+// (internal/registry): a predicate set that knows a canonical structural
+// token returns one that is equal exactly for structurally identical sets.
+// Implementations outside this package may omit it; CanonicalToken falls
+// back to hashing the Gram matrix, which is slower but just as
+// shape-sensitive.
+type Canonicalizer interface {
+	// Canonical returns a token that uniquely identifies the predicate
+	// set's structure (kind, domain size, and all shape parameters).
+	Canonical() string
+}
+
+// CanonicalToken returns the canonical structural token of a predicate
+// set: the set's own Canonical() when implemented (all built-ins), else a
+// digest of the Gram matrix and row count, which identifies the set's
+// optimization and error behavior exactly.
+func CanonicalToken(t PredicateSet) string {
+	if c, ok := t.(Canonicalizer); ok {
+		return c.Canonical()
+	}
+	return hashToken("G", t.Rows(), t.Cols(), t.Gram().Data())
+}
+
+// hashToken renders "<prefix>:<rows>:<cols>:<sha256 of the float bits>" —
+// the one canonical float-matrix encoding every digest-based token uses.
+func hashToken(prefix string, rows, cols int, data []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%s:%d:%d:%x", prefix, rows, cols, h.Sum(nil))
+}
+
 // IsTotalOrIdentity reports whether ps is the Total or Identity predicate
 // set. HDMM's parameter convention (Section 7.1) sets p=1 for attributes
 // whose predicate sets are all within T ∪ I.
@@ -94,6 +134,12 @@ func (e *Explicit) ColCounts() []float64 {
 	return mat.ColAbsSums(e.m)
 }
 
+// Canonical hashes the matrix content, not the user-supplied name, so two
+// Explicit sets fingerprint equal iff their matrices are identical.
+func (e *Explicit) Canonical() string {
+	return hashToken("E", e.m.Rows(), e.m.Cols(), e.m.Data())
+}
+
 // ---------------------------------------------------------------------------
 // Identity / Total
 // ---------------------------------------------------------------------------
@@ -111,6 +157,7 @@ func (p identity) Matrix() *mat.Dense   { return mat.Eye(p.n) }
 func (p identity) CanMaterialize() bool { return true }
 func (p identity) Name() string         { return fmt.Sprintf("I(%d)", p.n) }
 func (p identity) ColCounts() []float64 { return constVec(p.n, 1) }
+func (p identity) Canonical() string    { return "I:" + strconv.Itoa(p.n) }
 
 // total is the Total predicate set T: the single always-true predicate.
 type total struct{ n int }
@@ -125,6 +172,7 @@ func (p total) Matrix() *mat.Dense   { return mat.Ones(1, p.n) }
 func (p total) CanMaterialize() bool { return true }
 func (p total) Name() string         { return fmt.Sprintf("T(%d)", p.n) }
 func (p total) ColCounts() []float64 { return constVec(p.n, 1) }
+func (p total) Canonical() string    { return "T:" + strconv.Itoa(p.n) }
 
 // ---------------------------------------------------------------------------
 // Prefix
@@ -143,6 +191,7 @@ func (p *prefix) Rows() int            { return p.n }
 func (p *prefix) Cols() int            { return p.n }
 func (p *prefix) CanMaterialize() bool { return p.n*p.n <= maxExplicitCells }
 func (p *prefix) Name() string         { return fmt.Sprintf("P(%d)", p.n) }
+func (p *prefix) Canonical() string    { return "P:" + strconv.Itoa(p.n) }
 
 // Gram of Prefix: element i is in prefixes i..n-1, so
 // (WᵀW)[i,j] = #{k : k >= max(i,j)} = n - max(i,j).
@@ -195,6 +244,7 @@ func (p *allRange) Rows() int            { return p.n * (p.n + 1) / 2 }
 func (p *allRange) Cols() int            { return p.n }
 func (p *allRange) CanMaterialize() bool { return p.Rows()*p.n <= maxExplicitCells }
 func (p *allRange) Name() string         { return fmt.Sprintf("R(%d)", p.n) }
+func (p *allRange) Canonical() string    { return "R:" + strconv.Itoa(p.n) }
 
 // Gram of AllRange: ranges containing both i and j are [a,b] with
 // a <= min(i,j) and b >= max(i,j), so (WᵀW)[i,j] = (min+1)·(n-max).
@@ -260,6 +310,7 @@ func (p *widthRange) Rows() int            { return p.n - p.w + 1 }
 func (p *widthRange) Cols() int            { return p.n }
 func (p *widthRange) CanMaterialize() bool { return p.Rows()*p.n <= maxExplicitCells }
 func (p *widthRange) Name() string         { return fmt.Sprintf("W%d(%d)", p.w, p.n) }
+func (p *widthRange) Canonical() string    { return fmt.Sprintf("W:%d:%d", p.w, p.n) }
 
 // Gram: windows [s, s+w-1] containing both i and j require
 // max(i,j)-w+1 <= s <= min(i,j), intersected with 0 <= s <= n-w.
@@ -340,6 +391,16 @@ func (p *permuted) Rows() int            { return p.base.Rows() }
 func (p *permuted) Cols() int            { return p.base.Cols() }
 func (p *permuted) CanMaterialize() bool { return p.base.CanMaterialize() }
 func (p *permuted) Name() string         { return "perm:" + p.base.Name() }
+
+// Canonical embeds the permutation and the base set's token (falling back
+// to the base's Gram digest when it has no Canonical of its own).
+func (p *permuted) Canonical() string {
+	parts := make([]string, len(p.perm))
+	for i, v := range p.perm {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "perm:" + strings.Join(parts, ",") + ":" + CanonicalToken(p.base)
+}
 
 func (p *permuted) Gram() *mat.Dense {
 	return p.gram.get(func() *mat.Dense {
