@@ -5,6 +5,7 @@
 //
 //	hdmm optimize -domain 2,115 -query I,R -cache DIR        # precompute + persist strategy
 //	hdmm serve -domain 2,115 -query I,R -cache DIR -eps 1 data.csv   # load strategy, answer
+//	hdmm serve -http :8080 -cache DIR                        # HTTP answer-serving daemon
 //	hdmm -domain 2,115 -query I,R -eps 1.0 data.csv          # legacy one-shot run
 //
 // optimize runs strategy selection (the expensive, data-independent step)
@@ -13,6 +14,13 @@
 // serve resolves the same key — loading the persisted strategy instead of
 // re-optimizing when one exists — measures the dataset once, and answers
 // either the workload itself or the query products listed in -queries.
+//
+// serve -http ADDR runs the multi-tenant HTTP daemon instead of answering
+// once: tenants register workloads over POST /v1/engines and answer query
+// batches via POST /v1/engines/{key}/answer, all sharing the strategy
+// registry at -cache. With -domain/-query and a data.csv argument the
+// daemon pre-registers that workload at startup and prints its engine key.
+// The daemon drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 //
 // The dataset is a headerless CSV of non-negative integers, one record per
 // line, one column per attribute. The domain is given as comma-separated
@@ -25,16 +33,23 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	hdmm "repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -87,7 +102,7 @@ func (wf *workloadFlags) workload() (*hdmm.Workload, []int, error) {
 	if *wf.domain == "" || len(wf.queries) == 0 {
 		return nil, nil, usageError("missing -domain or -query")
 	}
-	sizes, err := parseInts(*wf.domain)
+	sizes, err := hdmm.ParseSizes(*wf.domain)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,7 +113,7 @@ func (wf *workloadFlags) workload() (*hdmm.Workload, []int, error) {
 	dom := hdmm.NewDomain(attrs...)
 	products := make([]hdmm.Product, 0, len(wf.queries))
 	for _, q := range wf.queries {
-		p, err := parseProduct(q, sizes)
+		p, err := hdmm.ParseProduct(q, sizes)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -154,17 +169,19 @@ func cmdOptimize(args []string, stdout, stderr io.Writer) error {
 }
 
 // cmdServe loads (or computes) a strategy, measures the dataset once, and
-// answers queries.
+// answers queries — or, with -http, runs the multi-tenant HTTP daemon.
 func cmdServe(args []string, stdout, stderr io.Writer) error {
 	wf := newWorkloadFlags("serve")
 	cache := wf.fs.String("cache", "", "strategy registry directory")
 	eps := wf.fs.Float64("eps", 1.0, "privacy budget ε")
-	delta := wf.fs.Float64("delta", 0, "privacy parameter δ (0 = Laplace, >0 = Gaussian)")
-	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
+	delta := wf.fs.Float64("delta", 0, "privacy parameter δ (0 = Laplace, >0 = Gaussian, requires ε ≤ 1)")
+	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fresh entropy per run; non-zero = reproducible noise)")
 	restarts := wf.fs.Int("restarts", 5, "strategy-selection restarts (cache-miss fallback)")
 	optseed := wf.fs.Uint64("optseed", 0, "strategy-selection seed (must match optimize)")
 	workers := wf.fs.Int("workers", 0, "cores (0 = all; results are identical for any value)")
 	queryFile := wf.fs.String("queries", "", "file of extra query products to answer (one spec per line)")
+	httpAddr := wf.fs.String("http", "", "run the HTTP answer-serving daemon on this address (e.g. :8080)")
+	drain := wf.fs.Duration("drain", 30*time.Second, "how long the daemon waits for in-flight requests on shutdown")
 	wf.fs.SetOutput(stderr)
 	if err := wf.fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -172,8 +189,70 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		}
 		return usageError(err.Error())
 	}
+	if *httpAddr != "" {
+		cfg := daemonConfig{
+			cache:    *cache,
+			eps:      *eps,
+			delta:    *delta,
+			seed:     *seed,
+			restarts: *restarts,
+			optseed:  *optseed,
+			workers:  *workers,
+			drain:    *drain,
+		}
+		if *queryFile != "" {
+			return usageError("-queries applies to one-shot serve; the HTTP daemon answers query batches per request")
+		}
+		if *drain < 0 {
+			return usageError("-drain must be non-negative (0 = shut down without waiting)")
+		}
+		switch {
+		case wf.fs.NArg() > 1:
+			return usageError("serve -http takes at most one data.csv argument")
+		case wf.fs.NArg() == 1:
+			if *wf.domain == "" || len(wf.queries) == 0 {
+				return usageError("pre-registering a dataset requires -domain and -query")
+			}
+			cfg.domain, cfg.queries, cfg.dataPath = *wf.domain, wf.queries, wf.fs.Arg(0)
+		case *wf.domain != "" || len(wf.queries) > 0:
+			return usageError("serve -http with -domain/-query requires a data.csv argument to pre-register")
+		}
+		if cfg.dataPath == "" {
+			// Without a pre-registered workload the budget/seed flags have
+			// nothing to apply to (tenants carry their own budgets per
+			// registration request); silently ignoring them would let an
+			// operator believe -eps set a daemon-wide default.
+			var stray []string
+			wf.fs.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "eps", "delta", "seed", "restarts", "optseed":
+					stray = append(stray, "-"+f.Name)
+				}
+			})
+			if len(stray) > 0 {
+				return usageError(strings.Join(stray, ", ") + " only apply to a pre-registered workload; tenants set budgets per registration request (add -domain/-query and a data.csv to pre-register)")
+			}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		// Once the first signal starts the graceful drain, restore default
+		// signal handling so a second SIGINT/SIGTERM terminates the
+		// process immediately instead of being swallowed for the rest of
+		// the drain window.
+		context.AfterFunc(ctx, stop)
+		return serveDaemon(ctx, *httpAddr, cfg, stdout, stderr, nil)
+	}
 	if wf.fs.NArg() != 1 {
 		return usageError("serve requires exactly one data.csv argument")
+	}
+	drainSet := false
+	wf.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "drain" {
+			drainSet = true
+		}
+	})
+	if drainSet {
+		return usageError("-drain only applies to the HTTP daemon (-http); one-shot serve answers and exits")
 	}
 	w, sizes, err := wf.workload()
 	if err != nil {
@@ -224,11 +303,150 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	return writeAnswers(stdout, answers)
 }
 
+// daemonConfig carries the serve flags into the HTTP daemon, plus the
+// optional workload to pre-register at startup.
+type daemonConfig struct {
+	cache    string
+	eps      float64
+	delta    float64
+	seed     uint64
+	restarts int
+	optseed  uint64
+	workers  int
+	drain    time.Duration // shutdown grace for in-flight requests
+	domain   string        // pre-registration workload ("" = none)
+	queries  []string      // pre-registration product specs
+	dataPath string        // pre-registration dataset
+}
+
+// serveDaemon runs the HTTP answer-serving daemon on addr until ctx is
+// cancelled (SIGINT/SIGTERM in production), then drains in-flight requests
+// and exits cleanly. onReady, when non-nil, receives the bound address
+// after every startup message has been written (tests listen on :0).
+func serveDaemon(ctx context.Context, addr string, cfg daemonConfig, stdout, stderr io.Writer, onReady func(string)) error {
+	hdmm.SetWorkers(cfg.workers)
+	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	// Bind before pre-registration: a busy or invalid address is the most
+	// common daemon startup failure, and discovering it AFTER minutes of
+	// strategy optimization would waste the work and discard a private
+	// measurement whose printed engine key never becomes reachable.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	serving := false
+	defer func() {
+		if !serving {
+			ln.Close()
+		}
+	}()
+	if cfg.dataPath != "" {
+		sizes, err := hdmm.ParseSizes(cfg.domain)
+		if err != nil {
+			return err
+		}
+		records, err := readCSV(cfg.dataPath, sizes)
+		if err != nil {
+			return err
+		}
+		if records == nil {
+			records = [][]int{} // an empty dataset is a zero histogram, not a missing one
+		}
+		// Registration can optimize for minutes on a cold cache, and
+		// NotifyContext has suppressed default signal termination — so the
+		// wait must watch ctx or Ctrl-C would be dead until startup
+		// finishes. Exiting abandons the goroutine; process teardown
+		// reclaims its CPU.
+		type preResult struct {
+			resp *server.RegisterResponse
+			err  error
+		}
+		done := make(chan preResult, 1)
+		go func() {
+			resp, err := srv.Register(&server.RegisterRequest{
+				Domain:   sizes,
+				Queries:  cfg.queries,
+				Records:  records,
+				Eps:      cfg.eps,
+				Delta:    cfg.delta,
+				Seed:     cfg.seed,
+				Restarts: cfg.restarts,
+				OptSeed:  cfg.optseed,
+			})
+			done <- preResult{resp, err}
+		}()
+		var resp *server.RegisterResponse
+		select {
+		case <-ctx.Done():
+			return errors.New("interrupted during startup pre-registration")
+		case pr := <-done:
+			if pr.err != nil {
+				return pr.err
+			}
+			resp = pr.resp
+		}
+		source := "computed"
+		if resp.FromCache {
+			source = "cache"
+		}
+		fmt.Fprintf(stderr, "pre-registered engine: strategy %s (%s), predicted per-query RMSE at ε=%g: %.3f\n",
+			resp.Operator, source, cfg.eps, resp.ExpectedRMSE)
+		fmt.Fprintln(stdout, resp.Key)
+	}
+
+	serving = true
+	fmt.Fprintf(stderr, "hdmm: serving HTTP on %s\n", ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	httpSrv := &http.Server{
+		Handler: srv,
+		// A long-running public daemon must bound slow clients: without
+		// these a peer trickling header bytes (slowloris) or idling
+		// keep-alive connections pins a goroutine and fd per connection
+		// forever. Body reads stay untimed — large data-vector uploads are
+		// legitimate — and are bounded by the server's MaxBodyBytes cap.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// cfg.drain is honored as given: 0 means shut down without
+		// waiting (the already-expired context makes Shutdown close
+		// listeners and return immediately).
+		drain := cfg.drain
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := httpSrv.Shutdown(shutdownCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		switch {
+		case err == nil:
+			fmt.Fprintln(stderr, "hdmm: shut down cleanly")
+			return nil
+		case errors.Is(err, context.DeadlineExceeded):
+			// A registration mid-optimization can outlive any reasonable
+			// grace period; the daemon drained what it could and cutting
+			// the stragglers is the intended outcome, not a failure.
+			fmt.Fprintf(stderr, "hdmm: shut down after draining for %s (some requests were still in flight)\n", drain)
+			return nil
+		default:
+			return fmt.Errorf("shutting down: %w", err)
+		}
+	}
+}
+
 // cmdRun is the legacy one-shot mode: select, measure, answer in one go.
 func cmdRun(args []string, stdout, stderr io.Writer) error {
 	wf := newWorkloadFlags("run")
 	eps := wf.fs.Float64("eps", 1.0, "privacy budget ε")
-	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fixed default; use distinct seeds per release)")
+	seed := wf.fs.Uint64("seed", 0, "noise seed (0 = fresh entropy per run; non-zero = reproducible noise)")
 	restarts := wf.fs.Int("restarts", 5, "strategy-selection restarts")
 	workers := wf.fs.Int("workers", 0, "cores for strategy selection and numeric kernels (0 = all; results are identical for any value)")
 	wf.fs.SetOutput(stderr)
@@ -272,22 +490,6 @@ func writeAnswers(w io.Writer, answers []float64) error {
 	return out.Flush()
 }
 
-func parseProduct(q string, sizes []int) (hdmm.Product, error) {
-	specs := strings.Split(q, ",")
-	if len(specs) != len(sizes) {
-		return hdmm.Product{}, fmt.Errorf("query %q has %d specs, domain has %d attributes", q, len(specs), len(sizes))
-	}
-	terms := make([]hdmm.PredicateSet, len(specs))
-	for i, s := range specs {
-		t, err := parseSpec(s, sizes[i])
-		if err != nil {
-			return hdmm.Product{}, err
-		}
-		terms[i] = t
-	}
-	return hdmm.NewProduct(terms...), nil
-}
-
 // readQueryFile parses one product spec per line ("I,R"); blank lines and
 // #-comments are skipped.
 func readQueryFile(path string, sizes []int) ([]hdmm.Product, error) {
@@ -305,7 +507,7 @@ func readQueryFile(path string, sizes []int) ([]hdmm.Product, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		p, err := parseProduct(text, sizes)
+		p, err := hdmm.ParseProduct(text, sizes)
 		if err != nil {
 			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
 		}
@@ -318,39 +520,6 @@ func readQueryFile(path string, sizes []int) ([]hdmm.Product, error) {
 		return nil, fmt.Errorf("%s: no query products", path)
 	}
 	return products, nil
-}
-
-func parseSpec(s string, n int) (hdmm.PredicateSet, error) {
-	switch {
-	case s == "I":
-		return hdmm.Identity(n), nil
-	case s == "T":
-		return hdmm.Total(n), nil
-	case s == "P":
-		return hdmm.Prefix(n), nil
-	case s == "R":
-		return hdmm.AllRange(n), nil
-	case strings.HasPrefix(s, "W"):
-		k, err := strconv.Atoi(s[1:])
-		if err != nil {
-			return nil, fmt.Errorf("bad width spec %q", s)
-		}
-		return hdmm.WidthRange(n, k), nil
-	}
-	return nil, fmt.Errorf("unknown predicate-set spec %q (I|T|P|R|W<k>)", s)
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad domain size %q", p)
-		}
-		out[i] = v
-	}
-	return out, nil
 }
 
 func readCSV(path string, sizes []int) ([][]int, error) {

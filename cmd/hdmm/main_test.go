@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	hdmm "repro"
 	"repro/internal/core"
@@ -148,6 +154,167 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if err := cmdRun([]string{"-domain", "2,16", "nodata.csv"}, &out, &errb); err == nil {
 		t.Error("run without -query accepted")
+	}
+}
+
+// TestServeHTTPDaemon boots the daemon on a loopback port with a
+// pre-registered workload, exercises the HTTP surface, then cancels the
+// context (the SIGINT/SIGTERM path) and checks the shutdown is clean.
+func TestServeHTTPDaemon(t *testing.T) {
+	data := writeTestData(t)
+	cfg := daemonConfig{
+		cache:    t.TempDir(),
+		eps:      1.0,
+		seed:     123,
+		restarts: 2,
+		optseed:  9,
+		drain:    2 * time.Second, // zero grace can race the last conn going idle and print the "draining" variant
+		domain:   "2,16",
+		queries:  []string{"I,R", "T,P"},
+		dataPath: data,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		errc <- serveDaemon(ctx, "127.0.0.1:0", cfg, &out, &errb, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, errb.String())
+	}
+
+	// All startup writes happen before onReady, so reading stdout is safe.
+	key := strings.TrimSpace(out.String())
+	if key == "" {
+		t.Fatal("daemon printed no pre-registered engine key")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + addr + "/v1/engines/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("engine metadata: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/engines/"+key+"/answer", "application/json",
+		strings.NewReader(`{"queries":["I,T","T,I"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer: status %d: %s", resp.StatusCode, body)
+	}
+	var ans struct {
+		Answers [][]float64 `json:"answers"`
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Answers) != 2 || len(ans.Answers[0]) != 2 || len(ans.Answers[1]) != 16 {
+		t.Fatalf("answer shape wrong: %d vectors", len(ans.Answers))
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("daemon did not shut down cleanly: %v", err)
+	}
+	if !strings.Contains(errb.String(), "shut down cleanly") {
+		t.Fatalf("missing shutdown diagnostic: %s", errb.String())
+	}
+}
+
+// TestServeHTTPUsageErrors: invalid -http invocations fail before binding.
+func TestServeHTTPUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := cmdServe([]string{"-http", ":0", "a.csv", "b.csv"}, &out, &errb); err == nil {
+		t.Error("serve -http with two data files accepted")
+	}
+	if err := cmdServe([]string{"-http", ":0", "-domain", "2,16", "a.csv"}, &out, &errb); err == nil {
+		t.Error("serve -http pre-registration without -query accepted")
+	}
+	if err := cmdServe([]string{"-http", ":0", "-domain", "2,16", "-query", "I,R"}, &out, &errb); err == nil {
+		t.Error("serve -http with workload flags but no data file accepted")
+	}
+	if err := cmdServe([]string{"-http", ":0", "-queries", "q.txt"}, &out, &errb); err == nil {
+		t.Error("serve -http with -queries accepted")
+	}
+	// Budget/seed flags without a pre-registered workload have nothing to
+	// apply to and must be rejected, not silently ignored.
+	if err := cmdServe([]string{"-http", ":0", "-eps", "0.5"}, &out, &errb); err == nil {
+		t.Error("serve -http with stray -eps accepted")
+	}
+	if err := cmdServe([]string{"-http", ":0", "-seed", "7", "-restarts", "3"}, &out, &errb); err == nil {
+		t.Error("serve -http with stray -seed/-restarts accepted")
+	}
+	if err := cmdServe([]string{"-http", ":0", "-drain", "-1s"}, &out, &errb); err == nil {
+		t.Error("serve -http with negative -drain accepted")
+	}
+}
+
+// TestServeHTTPBusyPortFailsFast: a bind failure must surface before any
+// pre-registration work (optimization + the one private measurement), not
+// after it.
+func TestServeHTTPBusyPortFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	data := writeTestData(t)
+	cfg := daemonConfig{
+		cache: t.TempDir(), eps: 1, restarts: 2, optseed: 9,
+		domain: "2,16", queries: []string{"I,R"}, dataPath: data,
+	}
+	before := core.RestartsPerformed()
+	var out, errb bytes.Buffer
+	if err := serveDaemon(context.Background(), ln.Addr().String(), cfg, &out, &errb, nil); err == nil {
+		t.Fatal("daemon bound a busy port")
+	}
+	if d := core.RestartsPerformed() - before; d != 0 {
+		t.Fatalf("bind failure after %d optimizer restarts, want 0 (fail before pre-registration)", d)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("bind failure printed an engine key: %q", out.String())
+	}
+}
+
+// TestServeHTTPDrainZero: an explicit -drain 0 is honored — shutdown
+// without waiting — rather than silently coerced to the default grace.
+func TestServeHTTPDrainZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		errc <- serveDaemon(ctx, "127.0.0.1:0", daemonConfig{drain: 0}, &out, &errb, func(addr string) { ready <- addr })
+	}()
+	select {
+	case <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, errb.String())
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain=0 shutdown returned error: %v", err)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -75,6 +76,21 @@ var (
 
 // Product is one Kronecker-product term of a workload.
 type Product = workload.Product
+
+// Textual workload-spec parsing, shared by the CLI flags, serve -queries
+// files, and the HTTP API: "I,R" is a product spec (one predicate-set spec
+// per attribute), with building blocks I, T, P, R, W<k>.
+
+// ParseSpec parses one per-attribute predicate-set spec ("R") for an
+// attribute of size n.
+func ParseSpec(s string, n int) (PredicateSet, error) { return workload.ParseSpec(s, n) }
+
+// ParseProduct parses a comma-joined product spec ("I,R") against the
+// domain's attribute sizes.
+func ParseProduct(q string, sizes []int) (Product, error) { return workload.ParseProduct(q, sizes) }
+
+// ParseSizes parses a comma-separated domain-size list ("2,115").
+func ParseSizes(s string) ([]int, error) { return workload.ParseSizes(s) }
 
 // NewProduct builds a weight-1 product from per-attribute predicate sets.
 func NewProduct(terms ...PredicateSet) Product { return workload.NewProduct(terms...) }
@@ -133,8 +149,10 @@ func SetWorkers(n int) int { return kron.SetWorkers(n) }
 type Options struct {
 	// Selection controls strategy search; zero value = defaults.
 	Selection SelectOptions
-	// Seed makes the private noise reproducible. Production deployments
-	// must leave Seed zero and supply their own entropy via Rand.
+	// Seed makes the private noise reproducible: a non-zero value selects a
+	// deterministic noise stream. Zero (the default) is the production path:
+	// the noise source is seeded from crypto/rand, so separate runs release
+	// independent noise.
 	Seed uint64
 	// Rand overrides the noise source (optional).
 	Rand *rand.Rand
@@ -163,12 +181,15 @@ type Result struct {
 // measurement with budget eps, least-squares reconstruction, and workload
 // answering. The output satisfies ε-differential privacy.
 func Run(w *Workload, x []float64, eps float64, opts Options) (*Result, error) {
-	if eps <= 0 {
-		return nil, fmt.Errorf("hdmm: epsilon must be positive, got %v", eps)
+	// NaN compares false with everything and +Inf means zero noise, so a
+	// plain `eps <= 0` check would accept both and release garbage (NaN)
+	// or the exact data (Inf) under a nominally private run.
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps <= 0 {
+		return nil, fmt.Errorf("hdmm: epsilon must be positive and finite, got %v", eps)
 	}
 	rng := opts.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream)) // deterministic if Seed set
+		rng = mech.NoiseRNG(opts.Seed) // deterministic if Seed non-zero, crypto/rand otherwise
 	}
 	res, err := mech.Run(w, x, eps, rng, mech.Options{
 		Selection:      opts.Selection,
@@ -202,10 +223,13 @@ type EngineOptions struct {
 	// CacheDir/CacheEntries fields place the strategy registry.
 	Selection SelectOptions
 	// Delta selects the mechanism: 0 = ε-DP Laplace, (0,1) = (ε,δ)-DP
-	// Gaussian.
+	// Gaussian (requires ε ≤ 1).
 	Delta float64
-	// Seed makes the private noise reproducible; answers are byte-identical
-	// to Run/RunGaussian with the same seed and selection options.
+	// Seed makes the private noise reproducible: for a NON-ZERO seed,
+	// answers are byte-identical to Run/RunGaussian with the same seed and
+	// selection options. Zero (the default) is the production path and
+	// draws fresh entropy from crypto/rand, so no two engines or runs
+	// share noise.
 	Seed uint64
 	// Rand overrides the noise source (optional).
 	Rand *rand.Rand
@@ -225,6 +249,40 @@ func NewEngine(w *Workload, x []float64, eps float64, opts EngineOptions) (*Engi
 		Workers:   opts.Workers,
 	})
 }
+
+// Server is the HTTP answer-serving daemon (hdmm serve -http): a pool of
+// serving engines — one per registered tenant — behind one JSON API and one
+// shared strategy registry. It implements http.Handler; see
+// internal/server's package documentation for the endpoint reference.
+type Server = server.Server
+
+// ServerConfig configures the HTTP answer-serving daemon: strategy-cache
+// placement (CacheDir/CacheEntries), the per-engine answering fan-out
+// (Workers), the request-body cap (MaxBodyBytes), and the engine-pool cap
+// (MaxEngines).
+type ServerConfig = server.Config
+
+// NewServer builds the HTTP answer-serving daemon. Mount it on any
+// http.Server or run it via `hdmm serve -http ADDR`.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Wire and programmatic types of the answer-serving daemon, re-exported so
+// embedders can call Server.Register/Answer/Info directly (the CLI's
+// pre-registration path does) instead of synthesizing HTTP requests.
+type (
+	// RegisterRequest registers one tenant: workload, data, budget.
+	RegisterRequest = server.RegisterRequest
+	// RegisterResponse reports the registered engine and its provenance.
+	RegisterResponse = server.RegisterResponse
+	// AnswerRequest is a batch of product specs for a registered engine.
+	AnswerRequest = server.AnswerRequest
+	// AnswerResponse carries one answer vector per requested product.
+	AnswerResponse = server.AnswerResponse
+	// EngineInfo is the metadata document of one registered engine.
+	EngineInfo = server.EngineInfo
+	// ServerMetrics is the /metrics observability document.
+	ServerMetrics = server.MetricsResponse
+)
 
 // Optimize runs strategy selection for (w, opts) and persists the winner in
 // the strategy registry at opts.CacheDir (opts.CacheEntries bounds the
@@ -269,13 +327,18 @@ func WeightForRelativeError(w *Workload) *Workload {
 // RunGaussian is Run under (ε,δ)-differential privacy: measurement uses the
 // Gaussian mechanism calibrated to the strategy's L2 sensitivity instead of
 // Laplace noise on its L1 sensitivity. Strategy selection is unchanged.
+// The classic calibration is only valid for ε ≤ 1, so larger budgets are
+// rejected (use Run's Laplace mechanism for high-ε deployments).
 func RunGaussian(w *Workload, x []float64, eps, delta float64, opts Options) (*Result, error) {
-	if eps <= 0 || delta <= 0 || delta >= 1 {
+	if math.IsNaN(eps) || math.IsNaN(delta) || eps <= 0 || delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("hdmm: invalid (ε,δ) = (%v, %v)", eps, delta)
+	}
+	if eps > 1 {
+		return nil, fmt.Errorf("hdmm: Gaussian mechanism calibration requires ε ≤ 1, got %v (the σ = Δ₂·sqrt(2·ln(1.25/δ))/ε bound is unsound above 1; use the Laplace mechanism instead)", eps)
 	}
 	rng := opts.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream))
+		rng = mech.NoiseRNG(opts.Seed)
 	}
 	sel, err := core.Select(w, opts.Selection)
 	if err != nil {

@@ -115,6 +115,42 @@ func TestRunGaussian(t *testing.T) {
 	if _, err := hdmm.RunGaussian(w, x, 1.0, 0, hdmm.Options{}); err == nil {
 		t.Fatal("expected error for delta=0")
 	}
+	// The classic Gaussian calibration is unsound for ε > 1: it must be
+	// rejected, not served under-protected.
+	if _, err := hdmm.RunGaussian(w, x, 1.5, 1e-6, hdmm.Options{Seed: 4}); err == nil {
+		t.Fatal("expected error for eps > 1 under the Gaussian mechanism")
+	}
+}
+
+// TestSeedZeroDrawsFreshEntropy: the documented production path (Seed 0,
+// no explicit Rand) must release independent noise per run — before the
+// fix it silently meant PCG(0, stream), i.e. identical noise every run.
+func TestSeedZeroDrawsFreshEntropy(t *testing.T) {
+	dom := hdmm.NewDomain(hdmm.Attribute{Name: "v", Size: 8})
+	w, err := hdmm.NewWorkload(dom, hdmm.NewProduct(hdmm.Identity(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 8)
+	sel := hdmm.SelectOptions{Restarts: 1, Seed: 2}
+	a, err := hdmm.Run(w, x, 1.0, hdmm.Options{Selection: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hdmm.Run(w, x, 1.0, hdmm.Options{Selection: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Answers {
+		if a.Answers[i] != b.Answers[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two Seed-0 runs released identical noise")
+	}
 }
 
 func TestWeightForRelativeError(t *testing.T) {

@@ -81,18 +81,25 @@ func maxColL2(m *mat.Dense) float64 {
 	return math.Sqrt(mx)
 }
 
-// GaussianSigma returns the noise scale of the analytic Gaussian mechanism
-// bound σ = Δ₂·sqrt(2·ln(1.25/δ))/ε (valid for ε ≤ 1; conservative above).
+// GaussianSigma returns the noise scale of the classic Gaussian mechanism
+// bound σ = Δ₂·sqrt(2·ln(1.25/δ))/ε. The bound's proof (Dwork & Roth,
+// Theorem A.1) holds only for ε ≤ 1; for ε > 1 this σ does NOT provide
+// (ε,δ)-DP — it is an unsound under-calibration, not a conservative one —
+// so ε > 1 is rejected outright rather than silently under-protecting.
+// (Balle & Wang's analytic Gaussian mechanism calibrates the full ε range;
+// adopting it is the upgrade path if high-ε Gaussian runs are ever needed.)
 func GaussianSigma(l2Sens, eps, delta float64) float64 {
-	if eps <= 0 || delta <= 0 || delta >= 1 {
-		panic(fmt.Sprintf("mech: invalid (ε,δ) = (%v,%v)", eps, delta))
+	if eps <= 0 || eps > 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("mech: invalid (ε,δ) = (%v,%v): Gaussian calibration requires 0 < ε ≤ 1 and 0 < δ < 1", eps, delta))
 	}
 	return l2Sens * math.Sqrt(2*math.Log(1.25/delta)) / eps
 }
 
 // MeasureGaussian runs the Gaussian mechanism in vector form:
 // y = A·x + N(0, σ²)^m with σ calibrated to ‖A‖₂. The result is
-// (ε,δ)-differentially private.
+// (ε,δ)-differentially private. Requires ε ≤ 1 (see GaussianSigma); the
+// error-returning entry points (hdmm.RunGaussian, serve.NewEngine) reject
+// ε > 1 before reaching this panic.
 func MeasureGaussian(a kron.Linear, x []float64, eps, delta float64, rng *rand.Rand) []float64 {
 	rows, cols := a.Dims()
 	if len(x) != cols {

@@ -6,6 +6,8 @@
 package mech
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -21,10 +23,43 @@ import (
 // what makes "same seed ⇒ byte-identical noise" hold across entry points.
 const RNGStream = 0xd9e
 
+// NoiseRNG builds the noise source shared by every entry point that accepts
+// a seed (hdmm.Run, hdmm.RunGaussian, the serving engine). A non-zero seed
+// selects the deterministic PCG(seed, RNGStream) stream — byte-identical
+// noise across entry points for reproducible experiments. Seed zero is the
+// production path and draws the PCG state from crypto/rand, so independent
+// runs release independent noise. (Treating zero as the literal PCG seed
+// would make every unseeded "production" run release the exact same noise
+// vector — a correlation an observer could subtract away across releases.)
+func NoiseRNG(seed uint64) *rand.Rand {
+	if seed != 0 {
+		return rand.New(rand.NewPCG(seed, RNGStream))
+	}
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand.Read never fails on supported platforms; a broken
+		// entropy source must not silently degrade to deterministic noise.
+		panic(fmt.Sprintf("mech: reading entropy for noise seed: %v", err))
+	}
+	return rand.New(rand.NewPCG(
+		binary.LittleEndian.Uint64(b[:8]),
+		binary.LittleEndian.Uint64(b[8:]),
+	))
+}
+
 // Laplace draws one sample from the Laplace distribution with mean 0 and
-// scale b via inverse-CDF sampling.
+// scale b via inverse-CDF sampling. rand.Float64 draws from [0, 1), so
+// u = Float64()-0.5 can land exactly on -0.5, where log(1+2u) = log(0) is
+// -Inf — one such draw would poison the whole measurement vector and every
+// answer reconstructed from it. The boundary has probability 2⁻⁵³ per draw
+// but production serves millions of samples; resample until u is interior
+// (the inverse CDF is only defined on the open interval anyway, so this is
+// still an exact sampler).
 func Laplace(rng *rand.Rand, b float64) float64 {
 	u := rng.Float64() - 0.5
+	for u == -0.5 {
+		u = rng.Float64() - 0.5
+	}
 	if u >= 0 {
 		return -b * math.Log(1-2*u)
 	}

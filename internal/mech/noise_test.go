@@ -1,0 +1,124 @@
+package mech
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// zeroFirstSource is a stub rand.Source whose first draws are exactly 0, so
+// rand.Float64() returns exactly 0 and Laplace's u hits the -0.5 boundary.
+type zeroFirstSource struct {
+	zeros int
+	next  uint64
+}
+
+func (s *zeroFirstSource) Uint64() uint64 {
+	if s.zeros > 0 {
+		s.zeros--
+		return 0
+	}
+	s.next += 0x9e3779b97f4a7c15 // arbitrary non-degenerate stream
+	return s.next
+}
+
+// TestLaplaceBoundaryDrawIsFinite is the regression test for the -Inf bug:
+// rand.Float64() can return exactly 0, putting u on the -0.5 boundary where
+// log(1+2u) = -Inf. One infinite sample would poison y, x̂, and every answer.
+// The sampler must resample past the boundary and return a finite value.
+func TestLaplaceBoundaryDrawIsFinite(t *testing.T) {
+	for _, zeros := range []int{1, 2, 5} {
+		rng := rand.New(&zeroFirstSource{zeros: zeros})
+		v := Laplace(rng, 1.0)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Laplace after %d boundary draws = %v, want finite", zeros, v)
+		}
+	}
+}
+
+// TestLaplaceVecBoundaryDraw drives the vector path through the boundary.
+func TestLaplaceVecBoundaryDraw(t *testing.T) {
+	rng := rand.New(&zeroFirstSource{zeros: 3})
+	for i, v := range LaplaceVec(rng, 2.0, 16) {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("LaplaceVec[%d] = %v, want finite", i, v)
+		}
+	}
+}
+
+// TestLaplaceUnchangedOffBoundary: the resampling guard must not perturb the
+// distribution away from the boundary — identical streams give identical
+// samples before and after the fix (inverse-CDF on the same draws).
+func TestLaplaceUnchangedOffBoundary(t *testing.T) {
+	a := rand.New(rand.NewPCG(42, 7))
+	b := rand.New(rand.NewPCG(42, 7))
+	for i := 0; i < 10000; i++ {
+		u := a.Float64() - 0.5
+		var want float64
+		if u >= 0 {
+			want = -1.5 * math.Log(1-2*u)
+		} else {
+			want = 1.5 * math.Log(1+2*u)
+		}
+		if got := Laplace(b, 1.5); got != want {
+			t.Fatalf("draw %d: Laplace = %v, inverse-CDF reference = %v", i, got, want)
+		}
+	}
+}
+
+// TestGaussianSigmaRejectsHighEps: the classic σ = Δ₂·sqrt(2·ln(1.25/δ))/ε
+// bound does not provide (ε,δ)-DP for ε > 1, so the calibration must refuse
+// rather than under-protect.
+func TestGaussianSigmaRejectsHighEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaussianSigma(1, 1.5, 1e-6) did not panic")
+		}
+	}()
+	GaussianSigma(1, 1.5, 1e-6)
+}
+
+// TestGaussianSigmaAcceptsEpsOne: ε = 1 is the boundary of the proof's
+// validity and must keep working.
+func TestGaussianSigmaAcceptsEpsOne(t *testing.T) {
+	want := math.Sqrt(2 * math.Log(1.25/1e-6))
+	if got := GaussianSigma(1, 1, 1e-6); got != want {
+		t.Fatalf("GaussianSigma(1,1,1e-6) = %v want %v", got, want)
+	}
+}
+
+// TestNoiseRNGSeededIsDeterministic: non-zero seeds keep the documented
+// contract — the stream equals PCG(seed, RNGStream) byte for byte.
+func TestNoiseRNGSeededIsDeterministic(t *testing.T) {
+	a := NoiseRNG(7)
+	b := rand.New(rand.NewPCG(7, RNGStream))
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("NoiseRNG(7) diverges from PCG(7, RNGStream) at draw %d", i)
+		}
+	}
+}
+
+// TestNoiseRNGZeroSeedDrawsEntropy is the regression test for silently
+// deterministic production noise: Seed == 0 must NOT mean PCG(0, RNGStream)
+// — two unseeded sources must produce independent streams.
+func TestNoiseRNGZeroSeedDrawsEntropy(t *testing.T) {
+	a, b := NoiseRNG(0), NoiseRNG(0)
+	fixed := rand.New(rand.NewPCG(0, RNGStream))
+	same, sameFixed := true, true
+	for i := 0; i < 16; i++ {
+		av := a.Uint64()
+		if av != b.Uint64() {
+			same = false
+		}
+		if av != fixed.Uint64() {
+			sameFixed = false
+		}
+	}
+	if same {
+		t.Fatal("two NoiseRNG(0) sources produced identical streams")
+	}
+	if sameFixed {
+		t.Fatal("NoiseRNG(0) reproduced the fixed PCG(0, RNGStream) stream")
+	}
+}

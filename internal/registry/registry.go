@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultMemEntries is the in-memory LRU capacity when the caller does not
@@ -22,11 +23,39 @@ const fileExt = ".strat"
 type Registry struct {
 	dir string // "" = memory only
 
+	hits   atomic.Uint64 // lookups served from memory or disk
+	misses atomic.Uint64 // lookups that computed (or failed to)
+
 	mu       sync.Mutex
 	capacity int
 	items    map[string]*list.Element // key -> element whose Value is *entry
 	order    *list.List               // front = most recently used
 	inflight map[string]*flight
+}
+
+// Stats is a snapshot of the registry's lookup counters. Every Get and
+// GetOrCompute call counts once: a hit when the record came from memory or
+// disk (fromCache true), a miss when it had to be computed or the lookup
+// failed. Waiters collapsed into another caller's computation count the
+// shared outcome, so hits/(hits+misses) is the cache hit ratio as callers
+// experienced it.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns the registry's lookup counters since construction.
+func (r *Registry) Stats() Stats {
+	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load()}
+}
+
+// count records one lookup outcome.
+func (r *Registry) count(fromCache bool) {
+	if fromCache {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
 }
 
 type entry struct {
@@ -118,23 +147,29 @@ func (r *Registry) Path(key string) string {
 // disk blob exists but is corrupted or unreadable.
 func (r *Registry) Get(key string) (*Record, bool, error) {
 	if rec := r.memGet(key); rec != nil {
+		r.count(true)
 		return rec, true, nil
 	}
 	if r.dir == "" {
+		r.count(false)
 		return nil, false, nil
 	}
 	blob, err := os.ReadFile(r.Path(key))
 	if os.IsNotExist(err) {
+		r.count(false)
 		return nil, false, nil
 	}
 	if err != nil {
+		r.count(false)
 		return nil, false, fmt.Errorf("registry: reading %s: %w", r.Path(key), err)
 	}
 	rec, err := Decode(blob)
 	if err != nil {
+		r.count(false)
 		return nil, false, fmt.Errorf("registry: %s: %w", r.Path(key), err)
 	}
 	r.memPut(key, rec)
+	r.count(true)
 	return rec, true, nil
 }
 
@@ -188,22 +223,35 @@ func (r *Registry) GetOrCompute(key string, compute func() (*Record, error)) (re
 		r.order.MoveToFront(el)
 		rec = el.Value.(*entry).rec
 		r.mu.Unlock()
+		r.count(true)
 		return rec, true, nil
 	}
 	if f, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
 		<-f.done
+		r.count(f.fromCache && f.err == nil)
 		return f.rec, f.fromCache, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	r.inflight[key] = f
 	r.mu.Unlock()
 
+	// Cleanup must survive a panicking compute: otherwise the key wedges —
+	// every later caller blocks on f.done forever. The panic propagates to
+	// the computing caller; waiters get an error.
+	completed := false
+	defer func() {
+		if !completed {
+			f.rec, f.fromCache, f.err = nil, false, fmt.Errorf("registry: computing %s panicked", key)
+		}
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		close(f.done)
+		r.count(f.fromCache && f.err == nil)
+	}()
 	f.rec, f.fromCache, f.err = r.fill(key, compute)
-	r.mu.Lock()
-	delete(r.inflight, key)
-	r.mu.Unlock()
-	close(f.done)
+	completed = true
 	return f.rec, f.fromCache, f.err
 }
 

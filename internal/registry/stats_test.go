@@ -1,0 +1,67 @@
+package registry
+
+import "testing"
+
+// TestStatsCounting: every lookup counts exactly once — computed lookups as
+// misses, memory/disk-served lookups as hits — so hits/(hits+misses) is the
+// serving layer's cache hit ratio.
+func TestStatsCounting(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("fresh registry stats = %+v, want zeros", s)
+	}
+
+	// Clean miss via Get.
+	if _, ok, err := r.Get("k"); err != nil || ok {
+		t.Fatalf("Get on empty: ok=%v err=%v", ok, err)
+	}
+	// Computed via GetOrCompute: miss.
+	if _, fromCache, err := r.GetOrCompute("k", func() (*Record, error) { return testRecord(4), nil }); err != nil || fromCache {
+		t.Fatalf("GetOrCompute compute: fromCache=%v err=%v", fromCache, err)
+	}
+	// Memory hit.
+	if _, fromCache, err := r.GetOrCompute("k", nil); err != nil || !fromCache {
+		t.Fatalf("GetOrCompute hit: fromCache=%v err=%v", fromCache, err)
+	}
+	// Disk hit through a fresh registry on the same directory.
+	r2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := r2.Get("k"); err != nil || !ok {
+		t.Fatalf("disk Get: ok=%v err=%v", ok, err)
+	}
+
+	if s := r.Stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want {Hits:1 Misses:2}", s)
+	}
+	if s := r2.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("fresh-registry stats = %+v, want {Hits:1 Misses:0}", s)
+	}
+}
+
+// TestGetOrComputePanickingCompute: a panic inside compute propagates to
+// the computing caller but must not wedge the key — the inflight entry is
+// cleaned up and the next call retries.
+func TestGetOrComputePanickingCompute(t *testing.T) {
+	r, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("compute panic did not propagate")
+			}
+		}()
+		_, _, _ = r.GetOrCompute("k", func() (*Record, error) { panic("boom") })
+	}()
+	rec, fromCache, err := r.GetOrCompute("k", func() (*Record, error) { return testRecord(4), nil })
+	if err != nil || fromCache || rec == nil {
+		t.Fatalf("key wedged after panicking compute: rec %v, fromCache %v, err %v", rec != nil, fromCache, err)
+	}
+}

@@ -28,10 +28,13 @@ type Options struct {
 	Selection core.HDMMOptions
 	// Delta selects the measurement mechanism: 0 runs the ε-DP Laplace
 	// mechanism, a value in (0,1) runs the (ε,δ)-DP Gaussian mechanism
-	// calibrated to the strategy's L2 sensitivity.
+	// calibrated to the strategy's L2 sensitivity (requires ε ≤ 1; the
+	// classic calibration is unsound above).
 	Delta float64
-	// Seed makes the private noise reproducible. Production deployments
-	// must leave Seed zero and supply their own entropy via Rand.
+	// Seed makes the private noise reproducible: a non-zero value selects a
+	// deterministic noise stream. Zero (the default) is the production
+	// path: the noise source is seeded from crypto/rand, so engines built
+	// at different times release independent noise.
 	Seed uint64
 	// Rand overrides the noise source (optional).
 	Rand *rand.Rand
@@ -61,6 +64,8 @@ type Engine struct {
 	fromCache bool
 	key       string
 	rootMSE   float64
+	eps       float64
+	delta     float64
 }
 
 // NewEngine builds a serving engine: it resolves the strategy through the
@@ -70,11 +75,18 @@ type Engine struct {
 // opts.Delta for Gaussian), and reconstructs x̂. The result satisfies ε-DP
 // (δ=0) or (ε,δ)-DP.
 func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*Engine, error) {
-	if eps <= 0 {
-		return nil, fmt.Errorf("serve: epsilon must be positive, got %v", eps)
+	// The comparisons must also catch NaN (every comparison with NaN is
+	// false, so `eps <= 0` alone would wave NaN through and poison every
+	// answer) and ±Inf (an infinite budget means zero noise — releasing
+	// the exact data under a nominally private engine).
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps <= 0 {
+		return nil, fmt.Errorf("serve: epsilon must be positive and finite, got %v", eps)
 	}
-	if opts.Delta < 0 || opts.Delta >= 1 {
+	if math.IsNaN(opts.Delta) || opts.Delta < 0 || opts.Delta >= 1 {
 		return nil, fmt.Errorf("serve: delta must be in [0, 1), got %v", opts.Delta)
+	}
+	if opts.Delta > 0 && eps > 1 {
+		return nil, fmt.Errorf("serve: Gaussian mechanism calibration requires ε ≤ 1, got %v (the σ = Δ₂·sqrt(2·ln(1.25/δ))/ε bound is unsound above 1; use δ = 0 for the Laplace mechanism instead)", eps)
 	}
 	if len(x) != w.Domain.Size() {
 		return nil, fmt.Errorf("serve: data vector has length %d, domain size is %d", len(x), w.Domain.Size())
@@ -102,7 +114,7 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 
 	rng := opts.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewPCG(opts.Seed, mech.RNGStream))
+		rng = mech.NoiseRNG(opts.Seed) // deterministic if Seed non-zero, crypto/rand otherwise
 	}
 	// Keys bind strategies to workloads by content address, but nothing
 	// stops an operator from renaming .strat files between cache dirs; a
@@ -138,6 +150,8 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		fromCache: fromCache,
 		key:       key,
 		rootMSE:   rootMSE,
+		eps:       eps,
+		delta:     opts.Delta,
 	}, nil
 }
 
@@ -199,6 +213,16 @@ func strategyMatchesWorkload(s core.Strategy, w *workload.Workload) error {
 
 // Strategy returns the measurement strategy the engine serves from.
 func (e *Engine) Strategy() core.Strategy { return e.strategy }
+
+// Workload returns the workload the engine was built for. Callers must
+// treat it as read-only.
+func (e *Engine) Workload() *workload.Workload { return e.w }
+
+// Epsilon returns the privacy budget ε the measurement consumed.
+func (e *Engine) Epsilon() float64 { return e.eps }
+
+// Delta returns the measurement's δ (0 = Laplace, >0 = Gaussian).
+func (e *Engine) Delta() float64 { return e.delta }
 
 // Operator names the optimization operator that produced the strategy.
 func (e *Engine) Operator() string { return e.operator }

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 
@@ -307,6 +308,23 @@ func TestEngineValidation(t *testing.T) {
 	}
 	if _, err := serve.NewEngine(w, x, 1, serve.Options{Delta: 1}); err == nil {
 		t.Error("delta=1 accepted")
+	}
+	if _, err := serve.NewEngine(w, x, 1.5, serve.Options{Delta: 1e-6}); err == nil {
+		t.Error("eps>1 Gaussian accepted (classic calibration is unsound above 1)")
+	}
+	// NaN compares false with everything; Inf means zero noise. Both must
+	// be rejected, not silently measured with.
+	if _, err := serve.NewEngine(w, x, math.NaN(), serve.Options{}); err == nil {
+		t.Error("eps=NaN accepted")
+	}
+	if _, err := serve.NewEngine(w, x, math.Inf(1), serve.Options{}); err == nil {
+		t.Error("eps=+Inf accepted")
+	}
+	if _, err := serve.NewEngine(w, x, 1, serve.Options{Delta: math.NaN()}); err == nil {
+		t.Error("delta=NaN accepted")
+	}
+	if _, err := serve.NewEngine(w, x, 1.5, serve.Options{Selection: hdmm.SelectOptions{Restarts: 1}, Seed: 3}); err != nil {
+		t.Errorf("eps>1 Laplace rejected: %v", err)
 	}
 	if _, err := serve.NewEngine(w, x[:3], 1, serve.Options{}); err == nil {
 		t.Error("short data vector accepted")

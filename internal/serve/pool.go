@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolFull is returned by Pool.GetOrCreate when registering a new key
+// would exceed the pool's engine limit. Existing keys keep answering.
+var ErrPoolFull = errors.New("serve: engine pool is at capacity")
+
+// Pool is a keyed collection of serving engines behind one process: one
+// engine per tenant key (workload + budget + data), all sharing whatever
+// strategy registry their constructions use. Construction is singleflight
+// per key, mirroring registry.GetOrCompute: concurrent registrations of the
+// same tenant run the expensive build (strategy lookup-or-optimization plus
+// the one private measurement) exactly once, and every caller gets the one
+// engine. A failed build is not cached — later calls retry.
+//
+// The pool holds at most limit engines. Unlike the strategy registry's LRU
+// this is a hard cap with rejection, not eviction: every engine owns a
+// private measurement, and silently evicting one would force the next
+// registration to measure again — spending privacy budget behind the
+// tenant's back. Each engine also pins a domain-sized x̂, so an unbounded
+// pool would let registration traffic grow process memory without limit.
+type Pool struct {
+	limit    int // <= 0: unlimited
+	mu       sync.Mutex
+	engines  map[string]*Engine
+	inflight map[string]*poolFlight
+}
+
+type poolFlight struct {
+	done chan struct{}
+	eng  *Engine
+	err  error
+}
+
+// NewPool returns an empty engine pool capped at limit engines (<= 0 for
+// no cap).
+func NewPool(limit int) *Pool {
+	return &Pool{
+		limit:    limit,
+		engines:  make(map[string]*Engine),
+		inflight: make(map[string]*poolFlight),
+	}
+}
+
+// Get returns the engine registered under key, if any.
+func (p *Pool) Get(key string) (*Engine, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	eng, ok := p.engines[key]
+	return eng, ok
+}
+
+// GetOrCreate returns the engine for key, building it with build on a miss.
+// Concurrent callers with the same key share one build. found reports
+// whether THIS call caused the build: false only for the one caller whose
+// build ran; hits on a registered engine AND callers collapsed into another
+// caller's flight see true, because their call spent nothing — for serving
+// engines "did my registration take a private measurement" is the question
+// found answers, so a waiter must not look like a second measurement. When
+// a new key would push the pool past its limit — counting builds in
+// flight, so racing registrations cannot overshoot — GetOrCreate returns
+// ErrPoolFull.
+func (p *Pool) GetOrCreate(key string, build func() (*Engine, error)) (eng *Engine, found bool, err error) {
+	p.mu.Lock()
+	if eng, ok := p.engines[key]; ok {
+		p.mu.Unlock()
+		return eng, true, nil
+	}
+	if f, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		<-f.done
+		return f.eng, f.err == nil, f.err
+	}
+	if p.limit > 0 && len(p.engines)+len(p.inflight) >= p.limit {
+		p.mu.Unlock()
+		return nil, false, ErrPoolFull
+	}
+	f := &poolFlight{done: make(chan struct{})}
+	p.inflight[key] = f
+	p.mu.Unlock()
+
+	// The cleanup must run even if build panics: otherwise the key wedges
+	// (every later caller blocks on f.done forever) and the stale inflight
+	// entry permanently consumes a capacity slot. The panic itself still
+	// propagates to the building caller; waiters get an error.
+	completed := false
+	defer func() {
+		if !completed {
+			f.eng, f.err = nil, errors.New("serve: engine construction panicked")
+		}
+		p.mu.Lock()
+		if f.err == nil {
+			p.engines[key] = f.eng
+		}
+		delete(p.inflight, key)
+		p.mu.Unlock()
+		close(f.done)
+	}()
+	f.eng, f.err = build()
+	completed = true
+	return f.eng, false, f.err
+}
+
+// Len reports the number of registered engines.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.engines)
+}
+
+// Keys returns the registered engine keys (unordered).
+func (p *Pool) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.engines))
+	for k := range p.engines {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// metrics aggregates per-endpoint request counters and latencies. A plain
+// mutex is deliberate: observation cost is nanoseconds against handlers
+// that do linear algebra, and a single structure keeps the snapshot
+// consistent (counts and totals from the same instant).
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests int64
+	errors   int64 // responses with status >= 400
+	total    time.Duration
+	max      time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = &endpointMetrics{}
+		m.endpoints[endpoint] = e
+	}
+	e.requests++
+	if status >= 400 {
+		e.errors++
+	}
+	e.total += d
+	if d > e.max {
+		e.max = d
+	}
+}
+
+// EndpointStats is the exported per-endpoint snapshot served by /metrics.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"` // responses with status >= 400
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func (m *metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointStats, len(m.endpoints))
+	for name, e := range m.endpoints {
+		s := EndpointStats{Requests: e.requests, Errors: e.errors, MaxMs: float64(e.max) / float64(time.Millisecond)}
+		if e.requests > 0 {
+			s.MeanMs = float64(e.total) / float64(e.requests) / float64(time.Millisecond)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// statusWriter records the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,712 @@
+// Package server exposes the answer-serving runtime over HTTP: a pool of
+// serving engines — one per registered tenant (workload + privacy budget +
+// data vector) — behind one JSON API and one shared strategy registry.
+//
+// HDMM's cost structure is "optimize once, measure once, answer many"
+// (Table 1(b) of McKenna et al.): everything after the single private
+// measurement is privacy-free post-processing, which is exactly the shape
+// of a long-running multi-tenant query service. The daemon holds that
+// lifecycle behind four endpoints:
+//
+//	POST /v1/engines              register a tenant; loads or optimizes the
+//	                              strategy through the shared registry,
+//	                              measures once, returns the engine key
+//	POST /v1/engines/{key}/answer answer a batch of query products
+//	GET  /v1/engines/{key}        engine metadata
+//	GET  /healthz                 liveness
+//	GET  /metrics                 request counts, latencies, cache hit ratio
+//
+// Tenants registering the same workload shape and selection options share
+// one cached strategy (content-addressed by registry.Key) even at different
+// budgets, seeds, or data — strategy selection is data-independent, so this
+// sharing leaks nothing. Registration is idempotent: the engine key is
+// derived from the strategy key plus the measurement parameters and a data
+// digest, and concurrent registrations of the same tenant collapse into one
+// construction (one optimization, one measurement).
+package server
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// unset: large enough for multi-million-cell data vectors, small enough to
+// bound a hostile request.
+const DefaultMaxBodyBytes = 64 << 20
+
+// DefaultMaxEngines caps the engine pool when Config.MaxEngines is unset.
+// Each engine pins a domain-sized private estimate for the life of the
+// process, so the pool must not grow with registration traffic.
+const DefaultMaxEngines = 256
+
+// DefaultMaxDomainCells caps the flattened domain size of one registration
+// when Config.MaxDomainCells is unset (2²² cells ≈ 34 MB of x̂). The data
+// path is implicitly bounded by the body cap, but the records path is not:
+// without this, a 70-byte request declaring domain [10⁹] would make the
+// daemon allocate the histogram — and run strategy selection — at that
+// size. Comfortably above every workload in the paper (§8 tops out near
+// a million cells).
+const DefaultMaxDomainCells = 1 << 22
+
+// DefaultMaxAttrSize caps one attribute's size when Config.MaxAttrSize is
+// unset. The flattened-cell cap alone is not enough: strategy selection
+// materializes dense n×n per-attribute Grams (and p×n OPT₀ iterates), so
+// memory scales with the square of a single attribute's size — a domain of
+// [200000] sits far under the cell cap yet would demand a 320 GB Gram.
+// 4096 bounds the transient per-attribute work at ~128 MB and exceeds
+// every per-attribute size in the paper.
+const DefaultMaxAttrSize = 4096
+
+// DefaultMaxWorkloadProducts caps the number of query products one
+// registration may declare when Config.MaxWorkloadProducts is unset.
+// Selection cost and Gram-cache memory scale with the product count, so a
+// body-cap-sized request listing millions of tiny specs must not buy
+// minutes of optimizer CPU. Far above the paper's workloads (tens of
+// union terms at most).
+const DefaultMaxWorkloadProducts = 1024
+
+// DefaultMaxRestarts caps a registration's requested strategy-selection
+// restarts when Config.MaxRestarts is unset. Restarts multiply optimizer
+// CPU linearly and participate in the strategy key (each distinct value is
+// a cache miss), so an unbounded client-controlled value would let one
+// small request pin every core for hours. The paper's experiments use 25.
+const DefaultMaxRestarts = 100
+
+// DefaultMaxAnswerValues caps the total answer values one /answer request
+// may demand when Config.MaxAnswerValues is unset. A product's row count
+// is the PRODUCT of its per-attribute predicate counts — each factor is
+// individually bounded, but "R,R" over a [510,510] domain (admissible
+// under every registration cap) multiplies out to 130305² ≈ 1.7·10¹⁰ rows,
+// a 136 GB allocation from a 30-byte request. 2²⁰ values ≈ 8 MB of floats
+// (~20 MB as JSON) per response.
+const DefaultMaxAnswerValues = 1 << 20
+
+// Config configures the HTTP answer-serving daemon.
+type Config struct {
+	// CacheDir is the on-disk strategy registry shared by every engine the
+	// server hosts ("" = in-memory only). Strategies optimized by `hdmm
+	// optimize` into the same directory are loaded, never recomputed.
+	CacheDir string
+	// CacheEntries bounds the registry's in-memory LRU (<= 0 = default).
+	CacheEntries int
+	// Workers bounds each engine's answering fan-out and strategy-selection
+	// parallelism (<= 0 = all cores). Answers are bit-identical for any
+	// value.
+	Workers int
+	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxEngines caps the engine pool (<= 0 = DefaultMaxEngines).
+	// Registrations of new tenants beyond the cap are rejected with 503 —
+	// never evicted, since evicting an engine would force a re-measurement
+	// (extra privacy budget) to serve that tenant again.
+	MaxEngines int
+	// MaxDomainCells caps one registration's flattened domain size
+	// (<= 0 = DefaultMaxDomainCells). Memory per engine is 8 bytes per
+	// cell, held for the life of the process.
+	MaxDomainCells int
+	// MaxAttrSize caps a single attribute's size (<= 0 =
+	// DefaultMaxAttrSize); strategy selection's memory is quadratic in it.
+	MaxAttrSize int
+	// MaxAnswerValues caps the total float64 values one /answer request
+	// may allocate — answer rows plus the dense per-attribute query
+	// matrices evaluation materializes (<= 0 = DefaultMaxAnswerValues).
+	MaxAnswerValues int
+	// MaxWorkloadProducts caps the number of query products one
+	// registration may declare (<= 0 = DefaultMaxWorkloadProducts).
+	MaxWorkloadProducts int
+	// MaxRestarts caps a registration's requested strategy-selection
+	// restarts (<= 0 = DefaultMaxRestarts).
+	MaxRestarts int
+}
+
+// Server is the HTTP answer-serving daemon. It implements http.Handler.
+type Server struct {
+	cfg    Config
+	reg    *registry.Registry
+	pool   *serve.Pool
+	mux    *http.ServeMux
+	met    *metrics
+	secret [32]byte // per-process key-derivation secret; see engineKey
+}
+
+// New builds a Server for cfg, backed by the process-wide shared registry
+// for cfg.CacheDir/CacheEntries.
+func New(cfg Config) (*Server, error) {
+	reg, err := registry.Shared(cfg.CacheDir, cfg.CacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithRegistry(cfg, reg)
+}
+
+// NewWithRegistry builds a Server backed by an explicit registry instance.
+// Callers outside the module go through New — this constructor exists for
+// tests and in-module embedders composing their own cache topology, and is
+// deliberately not re-exported by the public hdmm package.
+func NewWithRegistry(cfg Config, reg *registry.Registry) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxEngines <= 0 {
+		cfg.MaxEngines = DefaultMaxEngines
+	}
+	if cfg.MaxDomainCells <= 0 {
+		cfg.MaxDomainCells = DefaultMaxDomainCells
+	}
+	if cfg.MaxAttrSize <= 0 {
+		cfg.MaxAttrSize = DefaultMaxAttrSize
+	}
+	if cfg.MaxAnswerValues <= 0 {
+		cfg.MaxAnswerValues = DefaultMaxAnswerValues
+	}
+	if cfg.MaxWorkloadProducts <= 0 {
+		cfg.MaxWorkloadProducts = DefaultMaxWorkloadProducts
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = DefaultMaxRestarts
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  reg,
+		pool: serve.NewPool(cfg.MaxEngines),
+		mux:  http.NewServeMux(),
+		met:  newMetrics(),
+	}
+	if _, err := crand.Read(s.secret[:]); err != nil {
+		return nil, fmt.Errorf("server: reading key-derivation secret: %w", err)
+	}
+	s.mux.Handle("POST /v1/engines", s.instrument("register", s.handleRegister))
+	s.mux.Handle("POST /v1/engines/{key}/answer", s.instrument("answer", s.handleAnswer))
+	s.mux.Handle("GET /v1/engines/{key}", s.instrument("engine_get", s.handleEngineGet))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RegisterRequest registers one tenant: a workload over a domain, the data
+// vector it is answered from, and the privacy budget of the one
+// measurement. Exactly one of Data (the histogram over the flattened
+// domain, length = product of the domain sizes) or Records (raw tuples,
+// one value per attribute) must be set.
+type RegisterRequest struct {
+	Domain  []int    `json:"domain"`  // attribute sizes, e.g. [2,115]
+	Queries []string `json:"queries"` // product specs, e.g. ["I,R","T,P"]
+
+	Data    []float64 `json:"data,omitempty"`
+	Records [][]int   `json:"records,omitempty"`
+
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta,omitempty"` // 0 = Laplace, (0,1) = Gaussian (requires eps <= 1)
+	Seed  uint64  `json:"seed,omitempty"`  // 0 = fresh entropy (production); non-zero = reproducible noise
+
+	Restarts int    `json:"restarts,omitempty"` // strategy-selection restarts on a cache miss (default 5)
+	OptSeed  uint64 `json:"opt_seed,omitempty"` // strategy-selection seed
+}
+
+// RegisterResponse reports the registered engine.
+type RegisterResponse struct {
+	Key          string  `json:"key"`           // engine key for /answer and metadata
+	StrategyKey  string  `json:"strategy_key"`  // registry content address of the strategy
+	Operator     string  `json:"operator"`      // which optimizer produced the strategy
+	ExpectedRMSE float64 `json:"expected_rmse"` // predicted per-query RMSE at the tenant's budget
+	FromCache    bool    `json:"from_cache"`    // strategy loaded from the registry, not optimized now
+	Reused       bool    `json:"reused"`        // this registration took no new measurement (existing engine, or shared a concurrent identical registration's build)
+	NumQueries   int     `json:"num_queries"`
+	Domain       []int   `json:"domain"`
+}
+
+// AnswerRequest is a batch of query products evaluated on a registered
+// engine's private estimate — unlimited post-processing, no privacy cost.
+type AnswerRequest struct {
+	Queries []string `json:"queries"` // product specs over the engine's domain
+}
+
+// AnswerResponse returns one answer vector per requested product, in
+// request order (the product's queries in row-major order, scaled by its
+// weight). Fixed-seed responses are byte-identical to in-process
+// Engine.Answer at any worker count.
+type AnswerResponse struct {
+	Answers [][]float64 `json:"answers"`
+}
+
+// EngineInfo is the metadata document of one registered engine.
+type EngineInfo struct {
+	Key          string  `json:"key"`
+	StrategyKey  string  `json:"strategy_key"`
+	Operator     string  `json:"operator"`
+	ExpectedRMSE float64 `json:"expected_rmse"`
+	FromCache    bool    `json:"from_cache"`
+	Eps          float64 `json:"eps"`
+	Delta        float64 `json:"delta"`
+	Domain       []int   `json:"domain"`
+	NumQueries   int     `json:"num_queries"`
+}
+
+// MetricsResponse is the /metrics document.
+type MetricsResponse struct {
+	Engines       int                      `json:"engines"`
+	StrategyCache CacheStats               `json:"strategy_cache"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// CacheStats reports the shared strategy registry's lookup counters.
+type CacheStats struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"` // hits / (hits + misses); 0 when no lookups yet
+}
+
+// httpError carries a status code through the handler helpers.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// Register validates req, builds (or reuses) the engine, and returns its
+// key and strategy provenance. It is the programmatic form of
+// POST /v1/engines, used by the CLI's pre-registration path and tests.
+func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
+	// Check the scalar budget first: a request that is trivially invalid
+	// must be rejected before any workload parsing or histogram
+	// materialization is paid for it. NaN/Inf cannot arrive via standard
+	// JSON but can via programmatic callers (e.g. the CLI's -eps flag,
+	// which accepts "NaN"); the wording here keeps tenant mistakes as
+	// 400s, with the serving layer's own errors reserved for internal
+	// failures.
+	if math.IsNaN(req.Eps) || math.IsInf(req.Eps, 0) || req.Eps <= 0 {
+		return nil, badRequest("eps must be positive and finite, got %v", req.Eps)
+	}
+	if math.IsNaN(req.Delta) || req.Delta < 0 || req.Delta >= 1 {
+		return nil, badRequest("delta must be in [0, 1), got %v", req.Delta)
+	}
+	if req.Delta == 0 {
+		// Normalize -0 (valid JSON, passes the range check) to +0: the
+		// engine key hashes the float bits, and letting the sign bit fork
+		// the key would make a byte-equivalent re-registration take a
+		// SECOND measurement of the same data — silently doubling the
+		// spent ε despite the documented never-re-measure idempotency.
+		req.Delta = 0
+	}
+	if req.Delta > 0 && req.Eps > 1 {
+		return nil, badRequest("the Gaussian mechanism (delta > 0) requires eps <= 1, got eps=%v: the classic calibration is unsound above 1; use delta=0 (Laplace) for high-eps budgets", req.Eps)
+	}
+	restarts := req.Restarts
+	if restarts < 0 {
+		return nil, badRequest("restarts must be non-negative, got %d", restarts)
+	}
+	// Compare the cap against what selection will actually run: omitting
+	// restarts (0) normalizes to the optimizer default inside Select, and
+	// an operator cap below that default must still hold.
+	if effective := (core.HDMMOptions{Restarts: restarts}).Normalized().Restarts; effective > s.cfg.MaxRestarts {
+		return nil, badRequest("restarts %d exceeds the limit %d (optimizer CPU scales linearly with restarts); raise the server's MaxRestarts to allow it", effective, s.cfg.MaxRestarts)
+	}
+	if len(req.Queries) > s.cfg.MaxWorkloadProducts {
+		return nil, badRequest("workload declares %d query products, limit is %d (selection cost scales with the product count); raise the server's MaxWorkloadProducts to serve it", len(req.Queries), s.cfg.MaxWorkloadProducts)
+	}
+	w, err := buildWorkload(req.Domain, req.Queries, s.cfg.MaxDomainCells, s.cfg.MaxAttrSize)
+	if err != nil {
+		return nil, err
+	}
+	x, err := dataVector(w.Domain, req)
+	if err != nil {
+		return nil, err
+	}
+	sel := core.HDMMOptions{
+		Restarts:     restarts,
+		Seed:         req.OptSeed,
+		Workers:      s.cfg.Workers,
+		CacheDir:     s.cfg.CacheDir,
+		CacheEntries: s.cfg.CacheEntries,
+	}
+	strategyKey := registry.Key(w, sel)
+	key := s.engineKey(strategyKey, req.Eps, req.Delta, req.Seed, x)
+	eng, found, err := s.pool.GetOrCreate(key, func() (*serve.Engine, error) {
+		return serve.NewEngine(w, x, req.Eps, serve.Options{
+			Selection: sel,
+			Delta:     req.Delta,
+			Seed:      req.Seed,
+			Workers:   s.cfg.Workers,
+			Registry:  s.reg,
+		})
+	})
+	if errors.Is(err, serve.ErrPoolFull) {
+		return nil, &httpError{
+			code: http.StatusServiceUnavailable,
+			msg:  fmt.Sprintf("engine pool is at capacity (%d engines); already-registered engines keep answering", s.cfg.MaxEngines),
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &RegisterResponse{
+		Key:          key,
+		StrategyKey:  strategyKey,
+		Operator:     eng.Operator(),
+		ExpectedRMSE: eng.ExpectedRMSE(),
+		FromCache:    eng.FromCache(),
+		Reused:       found,
+		NumQueries:   w.NumQueries(),
+		Domain:       w.Domain.AttrSizes(),
+	}, nil
+}
+
+// Answer evaluates a batch of product specs on the engine registered under
+// key — the programmatic form of POST /v1/engines/{key}/answer.
+func (s *Server) Answer(key string, req *AnswerRequest) (*AnswerResponse, error) {
+	eng, ok := s.pool.Get(key)
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no engine registered under key %q", key)}
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("queries must not be empty")
+	}
+	sizes := eng.Workload().Domain.AttrSizes()
+	// Shared term instances across the batch (one matrix per distinct
+	// spec), then bound what evaluation will allocate BEFORE evaluating:
+	// a product's row count multiplies across attributes, and each term
+	// additionally materializes a dense rows×cols matrix that can dwarf
+	// the output (AllRange on n=500 is 125250×500 ≈ 63M cells for a
+	// 125k-row answer). Both are counted against one budget with
+	// overflow-safe arithmetic; this also bounds the batch length.
+	products, err := workload.ParseProducts(req.Queries, sizes)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// What evaluation actually allocates per product is (a) the dense
+	// per-term matrices — charged once per DISTINCT (attribute, spec),
+	// mirroring ParseProducts' instance sharing — and (b) the Kronecker
+	// matvec's per-step intermediates: applying factors last-to-first,
+	// the buffer after step k holds (∏_{i<k} colsᵢ)·(∏_{i≥k} rowsᵢ)
+	// values, whose PEAK can dwarf the output rows for asymmetric
+	// products ("T,R" on [4096,100] answers 5050 rows through a 20.7M-
+	// value intermediate). The peak (which always ≥ output rows) is
+	// charged per product; float64 accounting is exact into the 2⁵³ range
+	// and degrades safely (overflow → +Inf → reject) far beyond any cap.
+	maxVals := float64(s.cfg.MaxAnswerValues)
+	var total float64
+	seen := make(map[string]struct{})
+	for _, p := range products {
+		acc := 1.0 // ∏ cols, then factor-by-factor becomes ∏ rows
+		for a, term := range p.Terms {
+			acc *= float64(term.Cols())
+			tk := strconv.Itoa(a) + "|" + workload.CanonicalToken(term)
+			if _, ok := seen[tk]; !ok {
+				seen[tk] = struct{}{}
+				total += float64(term.Rows()) * float64(term.Cols())
+			}
+		}
+		peak := 0.0
+		for k := len(p.Terms) - 1; k >= 0; k-- {
+			acc = acc / float64(p.Terms[k].Cols()) * float64(p.Terms[k].Rows())
+			if acc > peak {
+				peak = acc
+			}
+		}
+		if total += peak; !(total <= maxVals) { // NaN/Inf-safe comparison
+			return nil, badRequest("batch demands more than %d values (evaluation intermediates plus materialized query matrices); split the batch or raise the server's MaxAnswerValues", s.cfg.MaxAnswerValues)
+		}
+	}
+	answers, err := eng.Answer(products)
+	if err != nil {
+		// Engine.Answer fails only on product/domain mismatches — caller
+		// input, not server state.
+		return nil, badRequest("%v", err)
+	}
+	return &AnswerResponse{Answers: answers}, nil
+}
+
+// Info returns the metadata of the engine registered under key.
+func (s *Server) Info(key string) (*EngineInfo, error) {
+	eng, ok := s.pool.Get(key)
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no engine registered under key %q", key)}
+	}
+	w := eng.Workload()
+	return &EngineInfo{
+		Key:          key,
+		StrategyKey:  eng.Key(),
+		Operator:     eng.Operator(),
+		ExpectedRMSE: eng.ExpectedRMSE(),
+		FromCache:    eng.FromCache(),
+		Eps:          eng.Epsilon(),
+		Delta:        eng.Delta(),
+		Domain:       w.Domain.AttrSizes(),
+		NumQueries:   w.NumQueries(),
+	}, nil
+}
+
+// Metrics returns the server's observability snapshot.
+func (s *Server) Metrics() *MetricsResponse {
+	st := s.reg.Stats()
+	cache := CacheStats{Hits: st.Hits, Misses: st.Misses}
+	if total := st.Hits + st.Misses; total > 0 {
+		cache.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return &MetricsResponse{
+		Engines:       s.pool.Len(),
+		StrategyCache: cache,
+		Endpoints:     s.met.snapshot(),
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Register(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Idempotent re-registration created nothing: 200, not 201.
+	code := http.StatusCreated
+	if resp.Reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req AnswerRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Answer(r.PathValue("key"), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEngineGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Info(r.PathValue("key"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// instrument wraps a handler with status recording and latency metrics.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.met.observe(name, sw.status, time.Since(start))
+	})
+}
+
+// decode reads a JSON request body with a size cap and strict fields, so
+// misspelled parameters fail loudly instead of silently using defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &httpError{code: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return badRequest("decoding request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("request body has trailing data after the JSON document")
+	}
+	return nil
+}
+
+// writeJSON marshals before touching the ResponseWriter, so a value JSON
+// cannot represent (e.g. an answer that overflowed to ±Inf) becomes a 500
+// instead of a silent 200 with an empty body. Write errors after a
+// successful marshal mean the client went away; nothing sensible to do.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("hdmm server: encoding response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, `{"error":"internal server error"}`+"\n")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	msg := err.Error()
+	if code == http.StatusInternalServerError {
+		// Internal errors carry server-side detail (cache paths, codec
+		// internals) that a network caller has no business seeing — but
+		// the operator needs it, so log before masking.
+		log.Printf("hdmm server: internal error: %v", err)
+		msg = "internal server error"
+	}
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// buildWorkload assembles the workload from the wire representation,
+// rejecting domains whose flattened size exceeds maxCells or that have an
+// attribute larger than maxAttr — the engine allocates (and pins) one
+// float64 per cell, and strategy selection materializes dense n×n
+// per-attribute Grams, so a tiny request must not be able to demand an
+// arbitrarily large build. The running product check also rules out int
+// overflow before schema.NewDomain multiplies the sizes.
+func buildWorkload(sizes []int, queries []string, maxCells, maxAttr int) (*workload.Workload, error) {
+	if len(sizes) == 0 {
+		return nil, badRequest("domain must list at least one attribute size")
+	}
+	cells := 1
+	for i, n := range sizes {
+		if n <= 0 {
+			return nil, badRequest("domain[%d] = %d, attribute sizes must be positive", i, n)
+		}
+		if n > maxAttr {
+			return nil, badRequest("domain[%d] = %d exceeds the per-attribute limit %d (selection memory is quadratic in an attribute's size); raise the server's MaxAttrSize to serve it", i, n, maxAttr)
+		}
+		if n > maxCells/cells {
+			return nil, badRequest("domain has more than %d cells; raise the server's MaxDomainCells to serve it", maxCells)
+		}
+		cells *= n
+	}
+	if len(queries) == 0 {
+		return nil, badRequest("queries must list at least one product spec")
+	}
+	dom := schema.Sizes(sizes...)
+	// ParseProducts shares predicate-set instances (and so Gram caches)
+	// across identical specs — a thousand repeated "R" products must cost
+	// one Gram, not a thousand.
+	products, err := workload.ParseProducts(queries, sizes)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	w, err := workload.New(dom, products...)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return w, nil
+}
+
+// dataVector materializes the tenant's histogram from whichever of Data or
+// Records the request carries.
+func dataVector(dom *schema.Domain, req *RegisterRequest) ([]float64, error) {
+	switch {
+	case req.Data != nil && req.Records != nil:
+		return nil, badRequest("set exactly one of data and records, not both")
+	case req.Data != nil:
+		if len(req.Data) != dom.Size() {
+			return nil, badRequest("data vector has length %d, domain size is %d", len(req.Data), dom.Size())
+		}
+		for i, v := range req.Data {
+			// Standard JSON cannot carry NaN/Inf, but programmatic callers
+			// can; a non-finite cell would poison the one measurement and
+			// pin a permanently broken engine in the pool.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, badRequest("data[%d] = %v, histogram cells must be finite", i, v)
+			}
+		}
+		x := make([]float64, len(req.Data)) // private copy: the engine holds it beyond the request
+		copy(x, req.Data)
+		return x, nil
+	case req.Records != nil:
+		sizes := dom.AttrSizes()
+		for ri, rec := range req.Records {
+			if len(rec) != len(sizes) {
+				return nil, badRequest("records[%d] has %d values, domain has %d attributes", ri, len(rec), len(sizes))
+			}
+			for ai, v := range rec {
+				if v < 0 || v >= sizes[ai] {
+					return nil, badRequest("records[%d][%d] = %d out of range for attribute of size %d", ri, ai, v, sizes[ai])
+				}
+			}
+		}
+		return dom.DataVector(req.Records), nil
+	default:
+		return nil, badRequest("one of data or records is required")
+	}
+}
+
+// engineKey derives the pool key of a tenant: the registry strategy key
+// (workload structure + selection options) extended with everything else
+// that distinguishes one engine from another — budget, mechanism, noise
+// seed, and a digest of the data vector. Identical registrations collapse
+// onto one engine (idempotent, and crucially ONE measurement: re-posting a
+// tenant config must not spend privacy budget again); any differing field
+// yields a distinct engine.
+//
+// The per-process secret is mixed in first, which makes keys unguessable
+// bearer handles rather than pure content addresses. Without it, the key
+// is computable from candidate inputs, and GET /v1/engines/{key} (200 vs
+// 404) becomes a free dataset-equality oracle: an adversary holding two
+// candidate datasets differing in one record could probe which one a
+// victim registered — an infinite-ε side channel outside the DP
+// accounting. (Callers allowed to REGISTER can still observe "reused" for
+// a payload they fully supply; treat registration as an operator surface
+// or put the daemon behind authentication.)
+func (s *Server) engineKey(strategyKey string, eps, delta float64, seed uint64, x []float64) string {
+	h := sha256.New()
+	_, _ = io.WriteString(h, "hdmm-engine-key-v1\x00")
+	h.Write(s.secret[:])
+	_, _ = io.WriteString(h, strategyKey)
+	var buf [8]byte
+	for _, u := range []uint64{math.Float64bits(eps), math.Float64bits(delta), seed, uint64(len(x))} {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	for _, v := range x {
+		// v+0 collapses -0.0 onto +0.0 (IEEE 754): a client whose float
+		// serializer emits a zero count as -0 must hit the same engine,
+		// not fork the key into a second measurement of the same
+		// histogram — mirroring the delta normalization in Register.
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v+0))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

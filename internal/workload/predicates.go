@@ -44,7 +44,10 @@ type PredicateSet interface {
 	// callers must not modify the result.
 	Gram() *mat.Dense
 	// Matrix returns the explicit predicate matrix. Implementations panic if
-	// materialization is infeasible (see CanMaterialize).
+	// materialization is infeasible (see CanMaterialize). Callers must not
+	// modify the result: built-ins with super-linear matrices (I, P, R,
+	// W<k>) memoize it on the instance, so the same object is shared
+	// (total's 1×n matrix is rebuilt per call — cheaper than pinning).
 	Matrix() *mat.Dense
 	// CanMaterialize reports whether Matrix is safe to call.
 	CanMaterialize() bool
@@ -98,7 +101,7 @@ func hashToken(prefix string, rows, cols int, data []float64) string {
 // whose predicate sets are all within T ∪ I.
 func IsTotalOrIdentity(ps PredicateSet) bool {
 	switch ps.(type) {
-	case identity, total:
+	case *identity, *total:
 		return true
 	}
 	return false
@@ -145,34 +148,51 @@ func (e *Explicit) Canonical() string {
 // ---------------------------------------------------------------------------
 
 // identity is the Identity predicate set I: one point predicate per element.
-type identity struct{ n int }
+// Pointer type so Matrix() can be memoized on the shared instance, keeping
+// the serving layer's charge-once answer accounting truthful. Gram() stays
+// unmemoized on purpose: strategy selection eagerly warms Grams on every
+// term, and pinning a trivially recomputable n×n Eye for the life of every
+// engine would turn transient selection work into permanent memory.
+// Matrix() memoization is lazy — only answer evaluation materializes it,
+// and the serving budget bounds what evaluation may touch.
+type identity struct {
+	n      int
+	matrix gramCache
+}
 
 // Identity returns the predicate set {t.A == a | a ∈ dom(A)}.
-func Identity(n int) PredicateSet { return identity{n} }
+func Identity(n int) PredicateSet { return &identity{n: n} }
 
-func (p identity) Rows() int            { return p.n }
-func (p identity) Cols() int            { return p.n }
-func (p identity) Gram() *mat.Dense     { return mat.Eye(p.n) }
-func (p identity) Matrix() *mat.Dense   { return mat.Eye(p.n) }
-func (p identity) CanMaterialize() bool { return true }
-func (p identity) Name() string         { return fmt.Sprintf("I(%d)", p.n) }
-func (p identity) ColCounts() []float64 { return constVec(p.n, 1) }
-func (p identity) Canonical() string    { return "I:" + strconv.Itoa(p.n) }
+func (p *identity) Rows() int        { return p.n }
+func (p *identity) Cols() int        { return p.n }
+func (p *identity) Gram() *mat.Dense { return mat.Eye(p.n) }
+func (p *identity) Matrix() *mat.Dense {
+	return p.matrix.get(func() *mat.Dense { return mat.Eye(p.n) })
+}
+func (p *identity) CanMaterialize() bool { return true }
+func (p *identity) Name() string         { return fmt.Sprintf("I(%d)", p.n) }
+func (p *identity) ColCounts() []float64 { return constVec(p.n, 1) }
+func (p *identity) Canonical() string    { return "I:" + strconv.Itoa(p.n) }
 
 // total is the Total predicate set T: the single always-true predicate.
-type total struct{ n int }
+// Gram stays unmemoized for the same reason as identity's (a recomputable
+// n×n ones matrix must not be pinned per engine); its 1×n Matrix is cheaper
+// to rebuild than to pin.
+type total struct {
+	n int
+}
 
 // Total returns the predicate set {True}, counting all records.
-func Total(n int) PredicateSet { return total{n} }
+func Total(n int) PredicateSet { return &total{n: n} }
 
-func (p total) Rows() int            { return 1 }
-func (p total) Cols() int            { return p.n }
-func (p total) Gram() *mat.Dense     { return mat.Ones(p.n, p.n) }
-func (p total) Matrix() *mat.Dense   { return mat.Ones(1, p.n) }
-func (p total) CanMaterialize() bool { return true }
-func (p total) Name() string         { return fmt.Sprintf("T(%d)", p.n) }
-func (p total) ColCounts() []float64 { return constVec(p.n, 1) }
-func (p total) Canonical() string    { return "T:" + strconv.Itoa(p.n) }
+func (p *total) Rows() int            { return 1 }
+func (p *total) Cols() int            { return p.n }
+func (p *total) Gram() *mat.Dense     { return mat.Ones(p.n, p.n) }
+func (p *total) Matrix() *mat.Dense   { return mat.Ones(1, p.n) }
+func (p *total) CanMaterialize() bool { return true }
+func (p *total) Name() string         { return fmt.Sprintf("T(%d)", p.n) }
+func (p *total) ColCounts() []float64 { return constVec(p.n, 1) }
+func (p *total) Canonical() string    { return "T:" + strconv.Itoa(p.n) }
 
 // ---------------------------------------------------------------------------
 // Prefix
@@ -180,8 +200,9 @@ func (p total) Canonical() string    { return "T:" + strconv.Itoa(p.n) }
 
 // prefix is the Prefix predicate set P: ranges [0, i] for every i.
 type prefix struct {
-	n    int
-	gram gramCache
+	n      int
+	gram   gramCache
+	matrix gramCache
 }
 
 // Prefix returns the CDF workload {a1 ≤ t.A ≤ ai | ai ∈ dom(A)}.
@@ -209,14 +230,16 @@ func (p *prefix) Gram() *mat.Dense {
 
 func (p *prefix) Matrix() *mat.Dense {
 	mustMaterialize(p)
-	m := mat.NewDense(p.n, p.n)
-	for i := 0; i < p.n; i++ {
-		row := m.Row(i)
-		for j := 0; j <= i; j++ {
-			row[j] = 1
+	return p.matrix.get(func() *mat.Dense {
+		m := mat.NewDense(p.n, p.n)
+		for i := 0; i < p.n; i++ {
+			row := m.Row(i)
+			for j := 0; j <= i; j++ {
+				row[j] = 1
+			}
 		}
-	}
-	return m
+		return m
+	})
 }
 
 func (p *prefix) ColCounts() []float64 {
@@ -233,8 +256,9 @@ func (p *prefix) ColCounts() []float64 {
 
 // allRange is the AllRange predicate set R: every interval [i, j].
 type allRange struct {
-	n    int
-	gram gramCache
+	n      int
+	gram   gramCache
+	matrix gramCache
 }
 
 // AllRange returns the set of all n(n+1)/2 range queries on the attribute.
@@ -266,18 +290,20 @@ func (p *allRange) Gram() *mat.Dense {
 
 func (p *allRange) Matrix() *mat.Dense {
 	mustMaterialize(p)
-	m := mat.NewDense(p.Rows(), p.n)
-	r := 0
-	for i := 0; i < p.n; i++ {
-		for j := i; j < p.n; j++ {
-			row := m.Row(r)
-			for k := i; k <= j; k++ {
-				row[k] = 1
+	return p.matrix.get(func() *mat.Dense {
+		m := mat.NewDense(p.Rows(), p.n)
+		r := 0
+		for i := 0; i < p.n; i++ {
+			for j := i; j < p.n; j++ {
+				row := m.Row(r)
+				for k := i; k <= j; k++ {
+					row[k] = 1
+				}
+				r++
 			}
-			r++
 		}
-	}
-	return m
+		return m
+	})
 }
 
 func (p *allRange) ColCounts() []float64 {
@@ -294,8 +320,9 @@ func (p *allRange) ColCounts() []float64 {
 
 // widthRange contains all ranges of a fixed width w: [i, i+w-1].
 type widthRange struct {
-	n, w int
-	gram gramCache
+	n, w   int
+	gram   gramCache
+	matrix gramCache
 }
 
 // WidthRange returns the n-w+1 range queries of width exactly w.
@@ -341,14 +368,16 @@ func (p *widthRange) overlap(i, j int) int {
 
 func (p *widthRange) Matrix() *mat.Dense {
 	mustMaterialize(p)
-	m := mat.NewDense(p.Rows(), p.n)
-	for s := 0; s < p.Rows(); s++ {
-		row := m.Row(s)
-		for k := s; k < s+p.w; k++ {
-			row[k] = 1
+	return p.matrix.get(func() *mat.Dense {
+		m := mat.NewDense(p.Rows(), p.n)
+		for s := 0; s < p.Rows(); s++ {
+			row := m.Row(s)
+			for k := s; k < s+p.w; k++ {
+				row[k] = 1
+			}
 		}
-	}
-	return m
+		return m
+	})
 }
 
 func (p *widthRange) ColCounts() []float64 {
