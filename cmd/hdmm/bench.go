@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	hdmm "repro"
+	"repro/internal/core"
+	"repro/internal/kron"
+	"repro/internal/mat"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// benchResult is one row of the perf-trajectory artifact (BENCH_5.json):
+// one operation at one worker count.
+type benchResult struct {
+	Op          string  `json:"op"`
+	Workers     int     `json:"workers"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s"` // data volume moved per second
+}
+
+// benchCase is one operation of the harness. bytes is the data volume one
+// op reads+writes (for MB/s); setup runs untimed, fn is the measured op.
+type benchCase struct {
+	op    string
+	bytes int64
+	fn    func()
+}
+
+// measure times fn with a calibrating loop: it grows the iteration count
+// until the batch takes at least targetMS, then reports per-op time and
+// allocations from the final batch.
+func measure(c benchCase, targetMS int) benchResult {
+	target := time.Duration(targetMS) * time.Millisecond
+	iters := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c.fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= target || iters >= 1<<20 {
+			ns := float64(elapsed.Nanoseconds()) / float64(iters)
+			allocs := float64(after.Mallocs-before.Mallocs) / float64(iters)
+			mbps := 0.0
+			if ns > 0 {
+				mbps = float64(c.bytes) / ns * 1e9 / 1e6
+			}
+			return benchResult{Op: c.op, Iters: iters, NsPerOp: ns, AllocsPerOp: allocs, MBPerS: mbps}
+		}
+		// Aim past the target with headroom, growing at most 64× per round.
+		grow := int64(float64(iters) * float64(target) / float64(elapsed+1) * 1.2)
+		if max := int64(iters) * 64; grow > max {
+			grow = max
+		}
+		if grow <= int64(iters) {
+			grow = int64(iters) + 1
+		}
+		iters = int(grow)
+	}
+}
+
+func benchRand(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0xbe7c)) }
+
+func randDense(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.NewDense(r, c)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// benchCases builds the harness: the Kronecker kernels on a 3-factor
+// 68×64 product (the shape of the existing kernel microbenchmarks), the
+// two reconstruction paths, and the batched serving path. workers bounds
+// the serving engine's batch fan-out (the kernels read the process-wide
+// bound the caller has already set).
+func benchCases(workers int) ([]benchCase, error) {
+	rng := benchRand(101)
+	var cases []benchCase
+
+	// --- Kronecker kernels: 3 factors of 68×64, domain 64³ = 262144. ---
+	fs := make([]*mat.Dense, 3)
+	for i := range fs {
+		fs[i] = randDense(rng, 68, 64)
+	}
+	p := kron.NewProduct(fs...)
+	rows, cols := p.Dims()
+	x := randSlice(rng, cols)
+	y := randSlice(rng, rows)
+	dst := make([]float64, rows)
+	dstT := make([]float64, cols)
+	ws := kron.NewWorkspace()
+	p.MatVecTo(dst, x, ws) // warm workspace + transpose caches
+	p.MatTVecTo(dstT, y, ws)
+	cases = append(cases,
+		benchCase{"kron/matvec", int64(8 * (cols + rows)), func() { p.MatVecTo(dst, x, ws) }},
+		benchCase{"kron/mattvec", int64(8 * (rows + cols)), func() { p.MatTVecTo(dstT, y, ws) }},
+	)
+
+	const k = 16
+	xs := randSlice(rng, k*cols)
+	batch := make([]float64, k*rows)
+	p.MatMulTo(batch, xs, k, ws)
+	cases = append(cases,
+		benchCase{fmt.Sprintf("kron/matmul%d", k), int64(8 * k * (cols + rows)), func() { p.MatMulTo(batch, xs, k, ws) }},
+	)
+
+	// --- Reconstruction: OPT⊗ pseudo-inverse path and OPT⁺ LSMR path. ---
+	wk, err := workload.New(schema.Sizes(64, 64),
+		workload.NewProduct(workload.AllRange(64), workload.AllRange(64)))
+	if err != nil {
+		return nil, err
+	}
+	ks, _, err := core.OPTKron(wk, core.OPTKronOptions{Seed: 3, MaxIter: 15, Restarts: 1})
+	if err != nil {
+		return nil, err
+	}
+	krows, kcols := ks.Operator().Dims()
+	ky := randSlice(rng, krows)
+	if _, err := ks.Reconstruct(ky); err != nil { // warm pinv cache
+		return nil, err
+	}
+	cases = append(cases, benchCase{"reconstruct/kron", int64(8 * (krows + kcols)), func() {
+		if _, err := ks.Reconstruct(ky); err != nil {
+			panic(err)
+		}
+	}})
+
+	wu, err := workload.New(schema.Sizes(32, 32),
+		workload.NewProduct(workload.AllRange(32), workload.Total(32)),
+		workload.NewProduct(workload.Total(32), workload.AllRange(32)))
+	if err != nil {
+		return nil, err
+	}
+	us, _, err := core.OPTPlus(wu, core.OPTPlusOptions{Kron: core.OPTKronOptions{Seed: 5, MaxIter: 15, Restarts: 1}})
+	if err != nil {
+		return nil, err
+	}
+	urows, ucols := us.Operator().Dims()
+	uy := randSlice(rng, urows)
+	uws := kron.NewWorkspace()
+	if _, err := us.ReconstructWS(uy, uws); err != nil {
+		return nil, err
+	}
+	cases = append(cases, benchCase{"reconstruct/union", int64(8 * (urows + ucols)), func() {
+		if _, err := us.ReconstructWS(uy, uws); err != nil {
+			panic(err)
+		}
+	}})
+
+	// --- Serving: a 512-query batch drawn from 4 shared specs. ---
+	dom := hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 2}, hdmm.Attribute{Name: "b", Size: 64})
+	we, err := hdmm.NewWorkload(dom, hdmm.NewProduct(hdmm.Identity(2), hdmm.AllRange(64)))
+	if err != nil {
+		return nil, err
+	}
+	data := make([]float64, dom.Size())
+	for i := range data {
+		data[i] = float64((i * 7) % 23)
+	}
+	eng, err := serve.NewEngine(we, data, 1.0, serve.Options{
+		Selection: hdmm.SelectOptions{Restarts: 1, Seed: 11},
+		Seed:      17,
+		Workers:   workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sizes := dom.AttrSizes()
+	specs := make([]string, 512)
+	for i := range specs {
+		specs[i] = []string{"I,R", "T,P", "I,P", "T,R"}[i%4]
+	}
+	products, err := workload.ParseProducts(specs, sizes)
+	if err != nil {
+		return nil, err
+	}
+	answered, err := eng.AnswerShared(products) // warm matrices + validate
+	if err != nil {
+		return nil, err
+	}
+	var ansVals int64
+	for _, a := range answered {
+		ansVals += int64(len(a))
+	}
+	cases = append(cases, benchCase{"serve/answer512", 8 * (int64(len(data)) + ansVals), func() {
+		if _, err := eng.AnswerShared(products); err != nil {
+			panic(err)
+		}
+	}})
+
+	return cases, nil
+}
+
+// cmdBench runs the kernel/reconstruct/serve benchmark harness at worker
+// counts 1 and GOMAXPROCS and writes the results as JSON, seeding the
+// perf trajectory future PRs diff against.
+func cmdBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_5.json", "output path for the JSON results")
+	targetMS := fs.Int("benchtime", 250, "minimum milliseconds of measurement per op")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hdmm bench [-out FILE] [-benchtime MS]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return usageError(err.Error())
+	}
+	if fs.NArg() != 0 {
+		return usageError("bench takes no positional arguments")
+	}
+
+	workerSet := []int{1, runtime.GOMAXPROCS(0)}
+	if workerSet[1] == 1 {
+		workerSet = workerSet[:1]
+	}
+
+	var results []benchResult
+	for _, workers := range workerSet {
+		prev := hdmm.SetWorkers(workers)
+		cases, err := benchCases(workers)
+		if err != nil {
+			hdmm.SetWorkers(prev)
+			return err
+		}
+		for _, c := range cases {
+			r := measure(c, *targetMS)
+			r.Workers = workers
+			results = append(results, r)
+			// Progress goes to stderr so `-out -` leaves stdout pure JSON.
+			fmt.Fprintf(stderr, "%-22s workers=%-2d %12.0f ns/op %10.1f allocs/op %10.1f MB/s\n",
+				c.op, workers, r.NsPerOp, r.AllocsPerOp, r.MBPerS)
+		}
+		hdmm.SetWorkers(prev)
+	}
+
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(results))
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCmdBench runs the harness at the shortest measurement window and
+// checks the BENCH_5-format artifact: every expected op is present with
+// sane fields, so the CI bench job cannot silently upload an empty or
+// malformed trajectory.
+func TestCmdBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	if err := cmdBench([]string{"-benchtime", "1", "-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("cmdBench: %v\nstderr: %s", err, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatalf("BENCH json: %v", err)
+	}
+	want := map[string]bool{
+		"kron/matvec": false, "kron/mattvec": false, "kron/matmul16": false,
+		"reconstruct/kron": false, "reconstruct/union": false, "serve/answer512": false,
+	}
+	for _, r := range results {
+		if _, ok := want[r.Op]; ok {
+			want[r.Op] = true
+		}
+		if r.NsPerOp <= 0 || r.Iters <= 0 || r.Workers <= 0 {
+			t.Errorf("%s (workers=%d): non-positive measurement %+v", r.Op, r.Workers, r)
+		}
+		if r.AllocsPerOp < 0 || r.MBPerS < 0 {
+			t.Errorf("%s: negative counters %+v", r.Op, r)
+		}
+	}
+	for op, seen := range want {
+		if !seen {
+			t.Errorf("op %s missing from results", op)
+		}
+	}
+}
+
+// TestCmdBenchRejectsArgs: bench takes flags only.
+func TestCmdBenchRejectsArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := cmdBench([]string{"extra"}, &stdout, &stderr)
+	if _, ok := err.(usageError); !ok {
+		t.Fatalf("want usageError, got %v", err)
+	}
+}

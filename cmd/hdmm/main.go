@@ -63,6 +63,8 @@ func main() {
 			err = cmdServe(args[1:], os.Stdout, os.Stderr)
 		case "run":
 			err = cmdRun(args[1:], os.Stdout, os.Stderr)
+		case "bench":
+			err = cmdBench(args[1:], os.Stdout, os.Stderr)
 		default:
 			err = cmdRun(args, os.Stdout, os.Stderr)
 		}

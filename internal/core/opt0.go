@@ -226,7 +226,10 @@ func (o *opt0Objective) eval(x, grad []float64) float64 {
 	for j := 0; j < n; j++ {
 		c += cols[j] * cols[j] * o.y.At(j, j)
 	}
-	c -= mat.Trace(ch.SolveMat(o.p2))
+	// tr(M⁻¹·P₂) straight off the factorization: TraceSolve skips the
+	// upper-triangle back-substitution a full SolveMat would compute only
+	// to be discarded by the trace (bit-identical diagonal either way).
+	c -= ch.TraceSolve(o.p2)
 
 	if grad == nil {
 		return c

@@ -42,6 +42,10 @@ type KronStrategy struct {
 	gramOnce sync.Once
 	gramInvs []*mat.Dense // cached (AᵢᵀAᵢ)⁻¹, guarded by gramOnce
 	gramErr  error
+
+	pinvOnce sync.Once
+	pinvOp   *kron.Product // cached A₁⁺⊗···⊗A_d⁺, guarded by pinvOnce
+	pinvErr  error
 }
 
 // NewKronStrategy wraps per-attribute p-Identity strategies.
@@ -110,21 +114,68 @@ func (s *KronStrategy) Error(w *workload.Workload) (float64, error) {
 	return total, nil
 }
 
-// Reconstruct computes x̂ = A⁺·y = (A₁⁺⊗···⊗A_d⁺)·y using the per-factor
-// pseudo-inverse identity of Section 4.4 and the kmatvec algorithm.
-func (s *KronStrategy) Reconstruct(y []float64) ([]float64, error) {
-	factors := make([]*mat.Dense, len(s.Subs))
-	for i, sub := range s.Subs {
-		p, err := sub.Pinv()
-		if err != nil {
-			return nil, err
+// PinvOperator returns the cached pseudo-inverse product A₁⁺⊗···⊗A_d⁺
+// (Section 4.4). The factor pseudo-inverses are computed once and the
+// cache is safe for concurrent first use; repeated reconstructions (every
+// answering trial, every serving engine built on a cached strategy) reuse
+// the same operator instead of re-running d eigendecompositions.
+func (s *KronStrategy) PinvOperator() (*kron.Product, error) {
+	s.pinvOnce.Do(func() {
+		factors := make([]*mat.Dense, len(s.Subs))
+		for i, sub := range s.Subs {
+			p, err := sub.Pinv()
+			if err != nil {
+				s.pinvErr = err
+				return
+			}
+			factors[i] = p
 		}
-		factors[i] = p
+		s.pinvOp = kron.NewProduct(factors...)
+	})
+	return s.pinvOp, s.pinvErr
+}
+
+// Reconstruct computes x̂ = A⁺·y = (A₁⁺⊗···⊗A_d⁺)·y using the per-factor
+// pseudo-inverse identity of Section 4.4 and the GEMM-backed mode
+// contraction.
+func (s *KronStrategy) Reconstruct(y []float64) ([]float64, error) {
+	op, err := s.PinvOperator()
+	if err != nil {
+		return nil, err
 	}
-	op := kron.NewProduct(factors...)
 	r, _ := op.Dims()
 	out := make([]float64, r)
 	op.MatVec(out, y)
+	return out, nil
+}
+
+// ReconstructBatch reconstructs k measurement vectors in one multi-RHS
+// pass: the batch rides through the pseudo-inverse product as block GEMMs
+// (kron.Product.MatMulTo), so k Monte-Carlo trials or k parallel
+// measurements cost d batched GEMMs instead of k·d thin ones. Row i of the
+// result is bit-identical to Reconstruct(ys[i]).
+func (s *KronStrategy) ReconstructBatch(ys [][]float64) ([][]float64, error) {
+	if len(ys) == 0 {
+		return nil, nil
+	}
+	op, err := s.PinvOperator()
+	if err != nil {
+		return nil, err
+	}
+	r, c := op.Dims()
+	xs := make([]float64, len(ys)*c)
+	for i, y := range ys {
+		if len(y) != c {
+			return nil, fmt.Errorf("core: measurement %d has length %d, strategy has %d rows", i, len(y), c)
+		}
+		copy(xs[i*c:(i+1)*c], y)
+	}
+	flat := make([]float64, len(ys)*r)
+	op.MatMulTo(flat, xs, len(ys), nil)
+	out := make([][]float64, len(ys))
+	for i := range out {
+		out[i] = flat[i*r : (i+1)*r : (i+1)*r]
+	}
 	return out, nil
 }
 
@@ -134,11 +185,16 @@ func (s *KronStrategy) Reconstruct(y []float64) ([]float64, error) {
 
 // UnionStrategy is the output of OPT⁺: a stack of product strategies, block
 // g scaled by budget share βg (Σβ = 1, so total sensitivity stays 1). Each
-// group of workload products is reconstructed from its own block.
+// group of workload products is reconstructed from its own block. Parts
+// and Shares must not be mutated after the first Operator call: the built
+// stack (and with it the per-operator offset/transpose caches) is memoized.
 type UnionStrategy struct {
 	Parts  []*KronStrategy
 	Shares []float64
 	Groups [][]int // workload product indices answered by each part
+
+	opOnce sync.Once
+	op     *kron.Stack // cached scaled stack, guarded by opOnce
 }
 
 // Name implements Strategy.
@@ -147,13 +203,18 @@ func (s *UnionStrategy) Name() string { return "OPT+" }
 // Sensitivity is Σ βg·1 = 1.
 func (s *UnionStrategy) Sensitivity() float64 { return 1 }
 
-// Operator returns the scaled stack.
+// Operator returns the scaled stack, built once — repeated applications
+// (every LSMR iteration of every reconstruction) then reuse the stack's
+// cached row offsets and the factor transposes cached on its products.
 func (s *UnionStrategy) Operator() kron.Linear {
-	blocks := make([]kron.Linear, len(s.Parts))
-	for i, p := range s.Parts {
-		blocks[i] = p.Operator()
-	}
-	return kron.NewStack(blocks, s.Shares)
+	s.opOnce.Do(func() {
+		blocks := make([]kron.Linear, len(s.Parts))
+		for i, p := range s.Parts {
+			blocks[i] = p.Operator()
+		}
+		s.op = kron.NewStack(blocks, s.Shares)
+	})
+	return s.op
 }
 
 // Error sums per-group errors: group g is answered from block g whose
@@ -178,8 +239,17 @@ func (s *UnionStrategy) Error(w *workload.Workload) (float64, error) {
 // strategy with LSMR (Section 7.2: no closed-form pseudo-inverse exists for
 // unions of Kronecker products).
 func (s *UnionStrategy) Reconstruct(y []float64) ([]float64, error) {
+	return s.ReconstructWS(y, nil)
+}
+
+// ReconstructWS is Reconstruct with an explicit workspace: callers that
+// reconstruct repeatedly (serving engines, Monte-Carlo trials) pass one
+// kron.Workspace and every LSMR iteration reuses its buffers, keeping the
+// whole solve O(1) in allocations regardless of iteration count. nil
+// borrows a pooled workspace.
+func (s *UnionStrategy) ReconstructWS(y []float64, ws *kron.Workspace) ([]float64, error) {
 	op := s.Operator()
-	res := lsmr.Solve(op, y, lsmr.Options{})
+	res := lsmr.Solve(op, y, lsmr.Options{Workspace: ws})
 	return res.X, nil
 }
 

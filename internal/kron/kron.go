@@ -3,10 +3,22 @@
 // blocks, Kronecker products of dense blocks, vertical stacks, and scalar
 // weighting — together these represent every strategy and workload matrix
 // HDMM manipulates without materializing them.
+//
+// The application layer is GEMM-backed and allocation-free: every mode
+// contraction of Algorithm 1 is one mat.ContractNT call (out = F·Zᵀ) over
+// a reusable two-buffer Workspace, the transpose path runs on per-factor
+// cached transposes so its inner loops stream contiguous rows instead of
+// striding down columns, and a multi-RHS entry point (Product.MatMulTo)
+// applies one product to a block of k vectors with the batch axis folded
+// into the GEMMs. Results are bit-identical to the scalar reference
+// algorithm at any worker count: each output element is a single serial
+// dot product accumulated in ascending index order no matter how the
+// output range is sharded.
 package kron
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/parallel"
@@ -21,10 +33,6 @@ func SetWorkers(n int) int { return parallel.SetKernelWorkers(n) }
 // Workers reports the resolved worker count operator applications will use.
 func Workers() int { return parallel.KernelWorkers() }
 
-// kronParallelFlops is the per-factor multiply-add count above which a
-// Kronecker matvec step shards its output blocks across cores.
-const kronParallelFlops = 1 << 17
-
 // Linear is an implicitly represented linear operator.
 type Linear interface {
 	// Dims returns (rows, cols).
@@ -35,6 +43,123 @@ type Linear interface {
 	MatTVec(dst, y []float64)
 	// Sensitivity returns the L1 operator norm ‖A‖₁ (max abs column sum).
 	Sensitivity() float64
+}
+
+// WorkspaceApplier is implemented by operators whose applications can run
+// through a caller-provided Workspace, so hot loops (LSMR iterations,
+// batched answering) reuse one set of scratch buffers across thousands of
+// applications instead of allocating per call.
+type WorkspaceApplier interface {
+	Linear
+	// MatVecTo is MatVec drawing scratch from ws (nil uses a pooled one).
+	MatVecTo(dst, x []float64, ws *Workspace)
+	// MatTVecTo is MatTVec drawing scratch from ws (nil uses a pooled one).
+	MatTVecTo(dst, y []float64, ws *Workspace)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+// Workspace holds the reusable scratch of the Kronecker application kernels:
+// two ping-pong buffers for the mode-contraction intermediates, reusable
+// matrix headers for the per-step GEMM views, and per-block sub-workspaces
+// plus reduction buffers for stacked operators. A Workspace may serve one
+// application at a time; concurrent block applications inside a Stack each
+// get their own child. The zero value is NOT ready for use — call
+// NewWorkspace (or pass nil to the *To entry points, which borrow one from
+// an internal pool).
+type Workspace struct {
+	bufs [2][]float64 // ping-pong mode-contraction intermediates
+	z, o *mat.Dense   // reusable GEMM view headers (input, output)
+	kids []*Workspace // per-block workspaces for Stack fan-out
+	reds [][]float64  // per-block reduction buffers for Stack.MatTVecTo
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are retained across applications.
+func NewWorkspace() *Workspace {
+	return &Workspace{z: mat.FromData(0, 0, nil), o: mat.FromData(0, 0, nil)}
+}
+
+// buf returns ping-pong buffer i (0 or 1) with length n, growing it if
+// needed. Contents are unspecified; callers overwrite every element.
+func (w *Workspace) buf(i, n int) []float64 {
+	if cap(w.bufs[i]) < n {
+		w.bufs[i] = make([]float64, n)
+	}
+	return w.bufs[i][:n]
+}
+
+// children returns n child workspaces, creating any missing ones. It must
+// be called before (never inside) a parallel region handing child i to
+// goroutine i.
+func (w *Workspace) children(n int) []*Workspace {
+	for len(w.kids) < n {
+		w.kids = append(w.kids, NewWorkspace())
+	}
+	return w.kids[:n]
+}
+
+// blockTmps returns n reduction buffers of length c each, growing as
+// needed. Like children it must be called before a parallel region; the
+// per-index slices may then be filled concurrently.
+func (w *Workspace) blockTmps(n, c int) [][]float64 {
+	for len(w.reds) < n {
+		w.reds = append(w.reds, nil)
+	}
+	for i := 0; i < n; i++ {
+		if cap(w.reds[i]) < c {
+			w.reds[i] = make([]float64, c)
+		}
+		w.reds[i] = w.reds[i][:c]
+	}
+	return w.reds[:n]
+}
+
+// wsPool recycles workspaces for the workspace-less entry points (the plain
+// Linear interface methods), so even callers unaware of workspaces are
+// allocation-free at steady state.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace borrows a pooled workspace. Pair with PutWorkspace.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the pool. The caller must not use it
+// afterwards.
+func PutWorkspace(ws *Workspace) {
+	ws.releaseRefs()
+	wsPool.Put(ws)
+}
+
+// releaseRefs drops the view headers' references to caller-owned slices
+// (the final contraction step reshapes them over the caller's dst, and a
+// single-factor product over its x), so an idle pooled workspace pins only
+// its own buffers, not multi-MB answer vectors from past applications.
+func (w *Workspace) releaseRefs() {
+	w.z.Reshape(0, 0, nil)
+	w.o.Reshape(0, 0, nil)
+	for _, kid := range w.kids {
+		kid.releaseRefs()
+	}
+}
+
+// matVecWS applies b through the workspace when supported.
+func matVecWS(b Linear, dst, x []float64, ws *Workspace) {
+	if a, ok := b.(WorkspaceApplier); ok {
+		a.MatVecTo(dst, x, ws)
+		return
+	}
+	b.MatVec(dst, x)
+}
+
+// matTVecWS applies bᵀ through the workspace when supported.
+func matTVecWS(b Linear, dst, y []float64, ws *Workspace) {
+	if a, ok := b.(WorkspaceApplier); ok {
+		a.MatTVecTo(dst, y, ws)
+		return
+	}
+	b.MatTVec(dst, y)
 }
 
 // ---------------------------------------------------------------------------
@@ -56,9 +181,14 @@ func (d Dense) Sensitivity() float64     { return mat.L1Norm(d.M) }
 // Kronecker product
 // ---------------------------------------------------------------------------
 
-// Product is the Kronecker product A1 ⊗ ··· ⊗ Ad of dense factors.
+// Product is the Kronecker product A1 ⊗ ··· ⊗ Ad of dense factors. Factors
+// must not be mutated after the first application: the transpose path
+// caches per-factor transposes on first use.
 type Product struct {
 	Factors []*mat.Dense
+
+	tOnce    sync.Once
+	tFactors []*mat.Dense // cached factor transposes for the MatTVec path
 }
 
 // NewProduct builds a Kronecker product operator.
@@ -89,90 +219,120 @@ func (p *Product) Sensitivity() float64 {
 	return s
 }
 
-// MatVec applies the product via Algorithm 1 (kmatvec): repeatedly reshape
-// the vector into a matrix whose trailing axis matches the current factor's
-// columns, multiply, and transpose. Space O(max intermediate), time
-// O(Σ mi·(N/ni)·ni) without materializing the 2^d-sized operator.
-func (p *Product) MatVec(dst, x []float64) {
-	res := kmatvec(p.Factors, x, false)
-	copy(dst, res)
+// transposedFactors returns cached per-factor transposes. Materializing
+// Aᵢᵀ once (each only nᵢ×mᵢ) turns the transpose contraction into the same
+// row-streaming GEMM as the forward one — the scalar reference walked
+// columns of Aᵢ element-by-element on every application.
+func (p *Product) transposedFactors() []*mat.Dense {
+	p.tOnce.Do(func() {
+		tf := make([]*mat.Dense, len(p.Factors))
+		for i, f := range p.Factors {
+			tf[i] = f.T()
+		}
+		p.tFactors = tf
+	})
+	return p.tFactors
 }
+
+// MatVec applies the product via Algorithm 1; see MatVecTo.
+func (p *Product) MatVec(dst, x []float64) { p.MatVecTo(dst, x, nil) }
 
 // MatTVec applies the transposed product (transpose distributes over ⊗).
-func (p *Product) MatTVec(dst, y []float64) {
-	res := kmatvec(p.Factors, y, true)
-	copy(dst, res)
+func (p *Product) MatTVec(dst, y []float64) { p.MatTVecTo(dst, y, nil) }
+
+// MatVecTo writes A·x into dst (len rows), drawing all scratch from ws
+// (nil borrows a pooled workspace). dst may not alias x. The application
+// performs zero allocations once ws's buffers have grown to size.
+func (p *Product) MatVecTo(dst, x []float64, ws *Workspace) {
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
+	}
+	applyFactors(dst, p.Factors, x, 1, ws)
 }
 
-// kmatvec computes (⊗Ai)·x, or (⊗Aiᵀ)·x when transpose is set.
-func kmatvec(factors []*mat.Dense, x []float64, transpose bool) []float64 {
-	n := 1
-	for _, f := range factors {
-		if transpose {
-			n *= f.Rows()
-		} else {
-			n *= f.Cols()
-		}
+// MatTVecTo writes Aᵀ·y into dst (len cols), drawing all scratch from ws
+// (nil borrows a pooled workspace). dst may not alias y.
+func (p *Product) MatTVecTo(dst, y []float64, ws *Workspace) {
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
 	}
-	if len(x) != n {
-		panic(fmt.Sprintf("kron: kmatvec input length %d want %d", len(x), n))
+	applyFactors(dst, p.transposedFactors(), y, 1, ws)
+}
+
+// MatMulTo applies the product to k vectors at once: xs holds the vectors
+// row-major (k×cols), dst receives the k results row-major (k×rows). The
+// batch axis rides through the mode contractions, so the whole batch costs
+// d GEMMs (plus one transpose pass) instead of k·d thinner ones — answer v
+// is bit-identical to MatVecTo on vector v alone. dst may not alias xs.
+func (p *Product) MatMulTo(dst, xs []float64, k int, ws *Workspace) {
+	if k <= 0 {
+		panic(fmt.Sprintf("kron: MatMulTo with %d vectors", k))
+	}
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
+	}
+	applyFactors(dst, p.Factors, xs, k, ws)
+}
+
+// applyFactors runs Algorithm 1 (Appendix A.5) as a sweep of GEMMs over a
+// batch of k vectors stored row-major in x (k×n). At each step the current
+// batch is viewed as a rows×fc matrix Z whose leading axis carries the
+// batch and all not-yet-contracted tensor axes, and the factor application
+// "multiply by F and transpose" is exactly out = F·Zᵀ — one mat.ContractNT
+// (the factor-resident, intermediate-streaming GEMM order) into the next
+// ping-pong buffer (or straight into dst on the final step when k == 1;
+// for k > 1 the batch axis ends up trailing after d contractions, so one
+// transpose pass delivers the row-major k×m result). Each output element
+// is a single dot product accumulated in ascending index order both
+// serially and under mat's row sharding, so results are bit-identical to
+// the scalar reference at any worker count.
+func applyFactors(dst []float64, factors []*mat.Dense, x []float64, k int, ws *Workspace) {
+	d := len(factors)
+	m, n := 1, 1
+	for _, f := range factors {
+		fr, fc := f.Dims()
+		m *= fr
+		n *= fc
+	}
+	if len(x) != k*n {
+		panic(fmt.Sprintf("kron: input length %d want %d", len(x), k*n))
+	}
+	if len(dst) != k*m {
+		panic(fmt.Sprintf("kron: output length %d want %d", len(dst), k*m))
 	}
 	cur := x
-	size := n
-	// Process factors from last to first: at each step view cur as a
-	// (size/ni)×ni matrix Z, compute Ai·Zᵀ, and flatten (transposed) —
-	// exactly Algorithm 1 in Appendix A.5.
-	for i := len(factors) - 1; i >= 0; i-- {
+	size := n // per-vector length of cur
+	buf := 0
+	for i := d - 1; i >= 0; i-- {
 		f := factors[i]
 		fr, fc := f.Dims()
-		if transpose {
-			fr, fc = fc, fr
-		}
-		rows := size / fc
-		out := make([]float64, rows*fr)
-		// Z is rows×fc (row-major view of cur). We want Y = Z·Aᵀ (rows×fr),
-		// then "transpose" by writing Y in column-major so the next factor
-		// sees the right layout. Equivalent to Yi-1 = Ai·Zi in the paper.
-		// The rows of Z are independent output blocks, so above the size
-		// threshold they are sharded across cores; block r writes exactly
-		// out[q*rows+r] for each q, so shards never overlap and each element
-		// is one serial dot product — results are bit-identical at any
-		// worker count.
-		step := func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				zrow := cur[r*fc : r*fc+fc]
-				for q := 0; q < fr; q++ {
-					s := 0.0
-					if transpose {
-						// (Aᵀ)[q,*] = A[*,q]
-						for k := 0; k < fc; k++ {
-							s += f.At(k, q) * zrow[k]
-						}
-					} else {
-						arow := f.Row(q)
-						for k, v := range arow {
-							s += v * zrow[k]
-						}
-					}
-					out[q*rows+r] = s // transposed write
-				}
-			}
-		}
-		if w := Workers(); w > 1 && rows*fr*fc >= kronParallelFlops {
-			minRows := kronParallelFlops / (fr * fc)
-			if minRows < 1 {
-				minRows = 1
-			}
-			parallel.ForChunked(w, rows, minRows, step)
+		rows := k * size / fc
+		var out []float64
+		if i == 0 && k == 1 {
+			out = dst
 		} else {
-			step(0, rows)
+			out = ws.buf(buf, rows*fr)
+			buf ^= 1
 		}
+		z := ws.z.Reshape(rows, fc, cur)
+		o := ws.o.Reshape(fr, rows, out)
+		mat.ContractNT(o, f, z)
 		cur = out
-		size = rows * fr
+		size = size / fc * fr
 	}
-	// After processing all d factors the axes have cycled d times, i.e. the
-	// layout is back in the original order.
-	return cur
+	if k > 1 {
+		// After d contractions the layout is (m1,…,md,k): vector v is
+		// column v of an m×k matrix. Deliver row-major k×m.
+		for j := 0; j < m; j++ {
+			row := cur[j*k : j*k+k]
+			for v, val := range row {
+				dst[v*m+j] = val
+			}
+		}
+	}
 }
 
 // Explicit materializes the full Kronecker product (tests / small sizes).
@@ -226,9 +386,14 @@ func (p *Product) Pinv() (*Product, error) {
 
 // Stack is a vertical stack of operators sharing a column count, with
 // optional per-block scalar weights; it represents unions of products.
+// Blocks must not change after the first application: row offsets are
+// computed once and cached.
 type Stack struct {
 	Blocks  []Linear
 	Weights []float64 // nil means all 1
+
+	offsOnce sync.Once
+	offs     []int // cached block row offsets, len(Blocks)+1
 }
 
 // NewStack builds a stack; weights may be nil.
@@ -257,68 +422,89 @@ func (s *Stack) weight(i int) float64 {
 
 // Dims returns (Σ rows, cols).
 func (s *Stack) Dims() (int, int) {
-	r := 0
+	offs := s.offsets()
 	_, c := s.Blocks[0].Dims()
-	for _, b := range s.Blocks {
-		br, _ := b.Dims()
-		r += br
-	}
-	return r, c
+	return offs[len(offs)-1], c
 }
 
 // stackParallelCols is the column count above which Stack applications run
 // their blocks concurrently (below it per-block work is too small to fan out).
 const stackParallelCols = 1 << 12
 
-// offsets returns each block's starting row in the stacked output.
+// offsets returns each block's starting row in the stacked output,
+// computed once (Blocks are immutable after NewStack) — the reference
+// implementation rebuilt this slice on every application and Dims call
+// inside the LSMR loop.
 func (s *Stack) offsets() []int {
-	offs := make([]int, len(s.Blocks)+1)
-	for i, b := range s.Blocks {
-		br, _ := b.Dims()
-		offs[i+1] = offs[i] + br
-	}
-	return offs
+	s.offsOnce.Do(func() {
+		offs := make([]int, len(s.Blocks)+1)
+		for i, b := range s.Blocks {
+			br, _ := b.Dims()
+			offs[i+1] = offs[i] + br
+		}
+		s.offs = offs
+	})
+	return s.offs
 }
 
-// MatVec stacks the per-block products. Blocks write disjoint ranges of dst,
-// so above the size threshold they run concurrently.
-func (s *Stack) MatVec(dst, x []float64) {
-	offs := s.offsets()
-	apply := func(i int) {
-		b := s.Blocks[i]
-		lo, hi := offs[i], offs[i+1]
-		b.MatVec(dst[lo:hi], x)
-		if w := s.weight(i); w != 1 {
-			for j := lo; j < hi; j++ {
-				dst[j] *= w
-			}
-		}
+// MatVec stacks the per-block products; see MatVecTo.
+func (s *Stack) MatVec(dst, x []float64) { s.MatVecTo(dst, x, nil) }
+
+// MatVecTo stacks the per-block products. Blocks write disjoint ranges of
+// dst, so above the size threshold they run concurrently, each on its own
+// child workspace.
+func (s *Stack) MatVecTo(dst, x []float64, ws *Workspace) {
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
 	}
+	offs := s.offsets()
 	_, c := s.Dims()
 	if w := Workers(); w > 1 && len(s.Blocks) > 1 && c >= stackParallelCols {
-		parallel.For(w, len(s.Blocks), apply)
+		kids := ws.children(len(s.Blocks))
+		parallel.For(w, len(s.Blocks), func(i int) { s.applyBlockVec(i, dst, x, offs, kids[i]) })
 		return
 	}
+	kid := ws.children(1)[0]
 	for i := range s.Blocks {
-		apply(i)
+		s.applyBlockVec(i, dst, x, offs, kid)
 	}
 }
 
-// MatTVec sums the per-block transposed products. Above the size threshold
-// the per-block products run concurrently into private buffers; the weighted
-// reduction then runs serially in block order, so the floating-point
-// summation order (and hence the result) is identical at any worker count.
-func (s *Stack) MatTVec(dst, y []float64) {
+// applyBlockVec runs block i of a MatVec into its disjoint range of dst.
+func (s *Stack) applyBlockVec(i int, dst, x []float64, offs []int, bws *Workspace) {
+	lo, hi := offs[i], offs[i+1]
+	matVecWS(s.Blocks[i], dst[lo:hi], x, bws)
+	if w := s.weight(i); w != 1 {
+		for j := lo; j < hi; j++ {
+			dst[j] *= w
+		}
+	}
+}
+
+// MatTVec sums the per-block transposed products; see MatTVecTo.
+func (s *Stack) MatTVec(dst, y []float64) { s.MatTVecTo(dst, y, nil) }
+
+// MatTVecTo sums the per-block transposed products. Above the size
+// threshold the per-block products run concurrently into per-block
+// workspace buffers; the weighted reduction then runs serially in block
+// order, so the floating-point summation order (and hence the result) is
+// identical at any worker count.
+func (s *Stack) MatTVecTo(dst, y []float64, ws *Workspace) {
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
+	}
 	_, c := s.Dims()
 	for i := range dst {
 		dst[i] = 0
 	}
 	offs := s.offsets()
 	if w := Workers(); w > 1 && len(s.Blocks) > 1 && c >= stackParallelCols {
-		tmps := parallel.Map(w, len(s.Blocks), func(i int) []float64 {
-			tmp := make([]float64, c)
-			s.Blocks[i].MatTVec(tmp, y[offs[i]:offs[i+1]])
-			return tmp
+		kids := ws.children(len(s.Blocks))
+		tmps := ws.blockTmps(len(s.Blocks), c)
+		parallel.For(w, len(s.Blocks), func(i int) {
+			matTVecWS(s.Blocks[i], tmps[i], y[offs[i]:offs[i+1]], kids[i])
 		})
 		for i, tmp := range tmps {
 			bw := s.weight(i)
@@ -328,9 +514,10 @@ func (s *Stack) MatTVec(dst, y []float64) {
 		}
 		return
 	}
-	tmp := make([]float64, c)
+	kid := ws.children(1)[0]
+	tmp := ws.blockTmps(1, c)[0]
 	for i, b := range s.Blocks {
-		b.MatTVec(tmp, y[offs[i]:offs[i+1]])
+		matTVecWS(b, tmp, y[offs[i]:offs[i+1]], kid)
 		bw := s.weight(i)
 		for j, v := range tmp {
 			dst[j] += bw * v

@@ -1,0 +1,51 @@
+package lsmr
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kron"
+)
+
+// TestSolveAllocsIndependentOfIterations asserts the reconstruction-side
+// O(1)-allocation contract: with a preallocated workspace threaded through
+// the operator applications, a solve's allocation count does not grow with
+// its iteration count. Before the GEMM/workspace rewrite every iteration
+// allocated fresh mode-contraction intermediates (O(d) allocations per
+// matvec per iteration); now all scratch lives in the workspace, so a
+// 10-iteration and a 200-iteration solve allocate the same handful of
+// solver-local vectors.
+func TestSolveAllocsIndependentOfIterations(t *testing.T) {
+	prev := kron.SetWorkers(1)
+	defer kron.SetWorkers(prev)
+
+	rng := rand.New(rand.NewPCG(3, 9))
+	// A stacked union of products — the operator shape UnionStrategy
+	// reconstruction solves — too ill-conditioned to converge early at the
+	// tight default tolerances.
+	blocks := []kron.Linear{
+		kron.NewProduct(randMat(rng, 9, 8), randMat(rng, 40, 32)),
+		kron.NewProduct(randMat(rng, 7, 8), randMat(rng, 36, 32)),
+	}
+	s := kron.NewStack(blocks, []float64{0.6, 0.4})
+	rows, _ := s.Dims()
+	b := make([]float64, rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ws := kron.NewWorkspace()
+	atol := 1e-300 // force the iteration budget to be the binding stop rule
+
+	solve := func(iters int) Result {
+		return Solve(s, b, Options{MaxIter: iters, Atol: atol, Btol: atol, Workspace: ws})
+	}
+	if got := solve(200).Iters; got != 200 {
+		t.Fatalf("long solve stopped after %d iterations, want the full 200", got)
+	}
+
+	short := testing.AllocsPerRun(5, func() { solve(10) })
+	long := testing.AllocsPerRun(5, func() { solve(200) })
+	if long > short {
+		t.Errorf("200-iteration solve allocates %v, 10-iteration solve %v — allocations grow with iterations", long, short)
+	}
+}

@@ -23,6 +23,11 @@ type Options struct {
 	// GOMAXPROCS(0)). Results are bit-identical at any value: the chunked
 	// updates are element-wise and the norm reductions stay serial.
 	Workers int
+	// Workspace is reused for every operator application when the operator
+	// supports it (kron.WorkspaceApplier), making the whole solve O(1) in
+	// allocations regardless of iteration count. nil borrows a pooled
+	// workspace for the duration of the solve.
+	Workspace *kron.Workspace
 }
 
 // lsmrParallelLen is the vector length above which the element-wise updates
@@ -53,6 +58,30 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 		opts.Btol = 1e-8
 	}
 
+	// One workspace serves every operator application of the solve: the
+	// per-iteration matvecs draw all their mode-contraction scratch from it
+	// instead of allocating per factor per iteration.
+	ws := opts.Workspace
+	if ws == nil {
+		ws = kron.GetWorkspace()
+		defer kron.PutWorkspace(ws)
+	}
+	wsOp, hasWS := a.(kron.WorkspaceApplier)
+	matVec := func(dst, x []float64) {
+		if hasWS {
+			wsOp.MatVecTo(dst, x, ws)
+			return
+		}
+		a.MatVec(dst, x)
+	}
+	matTVec := func(dst, y []float64) {
+		if hasWS {
+			wsOp.MatTVecTo(dst, y, ws)
+			return
+		}
+		a.MatTVec(dst, y)
+	}
+
 	u := append([]float64(nil), b...)
 	beta := norm2(u)
 	if beta > 0 {
@@ -61,7 +90,7 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 	v := make([]float64, cols)
 	alpha := 0.0
 	if beta > 0 {
-		a.MatTVec(v, u)
+		matTVec(v, u)
 		alpha = norm2(v)
 		if alpha > 0 {
 			scale(1/alpha, v)
@@ -97,39 +126,21 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 	tmpRows := make([]float64, rows)
 	tmpCols := make([]float64, cols)
 
-	// chunked shards an element-wise update across cores when the vector is
-	// long enough to amortize the fan-out; each index is written by exactly
-	// one chunk, so results match the serial loop bit-for-bit.
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = parallel.KernelWorkers()
-	}
-	chunked := func(n int, f func(lo, hi int)) {
-		if workers > 1 && n >= lsmrParallelLen {
-			parallel.ForChunked(workers, n, lsmrParallelLen/4, f)
-			return
-		}
-		f(0, n)
 	}
 
 	res := Result{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// Bidiagonalization step: β·u = A·v − α·u ; α·v = Aᵀ·u − β·v.
-		a.MatVec(tmpRows, v)
-		chunked(rows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u[i] = tmpRows[i] - alpha*u[i]
-			}
-		})
+		matVec(tmpRows, v)
+		subScale(workers, u, tmpRows, alpha)
 		beta = norm2(u)
 		if beta > 0 {
 			scale(1/beta, u)
-			a.MatTVec(tmpCols, u)
-			chunked(cols, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v[i] = tmpCols[i] - beta*v[i]
-				}
-			})
+			matTVec(tmpCols, u)
+			subScale(workers, v, tmpCols, beta)
 			alpha = norm2(v)
 			if alpha > 0 {
 				scale(1/alpha, v)
@@ -159,13 +170,7 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 		coef1 := thetabar * rho / (rhoold * rhobarold)
 		coef2 := zeta / (rho * rhobar)
 		coef3 := thetanew / rho
-		chunked(cols, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				hbar[i] = h[i] - coef1*hbar[i]
-				x[i] += coef2 * hbar[i]
-				h[i] = v[i] - coef3*h[i]
-			}
-		})
+		fusedUpdate(workers, hbar, x, h, v, coef1, coef2, coef3)
 
 		// Residual-norm estimates (from the LSMR paper §5).
 		betaacute := chat * betadd
@@ -218,6 +223,49 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 	}
 	res.X = x
 	return res
+}
+
+// subScale performs dst[i] = src[i] − a·dst[i], chunked across cores when
+// the vector is long enough to amortize the fan-out; each index is written
+// by exactly one chunk, so results match the serial loop bit-for-bit. The
+// serial path runs inline without materializing a closure, keeping the
+// per-iteration allocation count at zero.
+func subScale(workers int, dst, src []float64, a float64) {
+	n := len(dst)
+	if workers > 1 && n >= lsmrParallelLen {
+		parallel.ForChunked(workers, n, lsmrParallelLen/4, func(lo, hi int) {
+			subScaleRange(dst, src, a, lo, hi)
+		})
+		return
+	}
+	subScaleRange(dst, src, a, 0, n)
+}
+
+func subScaleRange(dst, src []float64, a float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = src[i] - a*dst[i]
+	}
+}
+
+// fusedUpdate performs the h̄/x/h updates in one pass per chunk, with the
+// same chunking and determinism contract as subScale.
+func fusedUpdate(workers int, hbar, x, h, v []float64, c1, c2, c3 float64) {
+	n := len(x)
+	if workers > 1 && n >= lsmrParallelLen {
+		parallel.ForChunked(workers, n, lsmrParallelLen/4, func(lo, hi int) {
+			fusedUpdateRange(hbar, x, h, v, c1, c2, c3, lo, hi)
+		})
+		return
+	}
+	fusedUpdateRange(hbar, x, h, v, c1, c2, c3, 0, n)
+}
+
+func fusedUpdateRange(hbar, x, h, v []float64, c1, c2, c3 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		hbar[i] = h[i] - c1*hbar[i]
+		x[i] += c2 * hbar[i]
+		h[i] = v[i] - c3*h[i]
+	}
 }
 
 // sym computes a Givens rotation: (c, s, r) with c·a + s·b = r, -s·a + c·b = 0.

@@ -81,22 +81,21 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 	return b
 }
 
-// SolveMat solves M·X = B column-block-wise, overwriting and returning B.
-func (c *Cholesky) SolveMat(b *Dense) *Dense {
-	if b.r != c.n {
-		panic("mat: Cholesky.SolveMat dimension mismatch")
-	}
-	n, m, l := c.n, b.c, c.l.data
-	// Forward solve on all columns at once (row sweeps keep access contiguous).
+// forwardSweep solves L·W = B in place over all m columns of b (row sweeps
+// keep access contiguous). Shared by SolveMat and TraceSolve so their
+// forward passes cannot drift apart — TraceSolve's bit-identity contract
+// depends on both running exactly this accumulation order.
+func (c *Cholesky) forwardSweep(b []float64, m int) {
+	n, l := c.n, c.l.data
 	for i := 0; i < n; i++ {
-		bi := b.data[i*m : i*m+m]
+		bi := b[i*m : i*m+m]
 		row := l[i*n : i*n+n]
 		for k := 0; k < i; k++ {
 			lik := row[k]
 			if lik == 0 {
 				continue
 			}
-			bk := b.data[k*m : k*m+m]
+			bk := b[k*m : k*m+m]
 			for j := range bi {
 				bi[j] -= lik * bk[j]
 			}
@@ -106,6 +105,15 @@ func (c *Cholesky) SolveMat(b *Dense) *Dense {
 			bi[j] /= d
 		}
 	}
+}
+
+// SolveMat solves M·X = B column-block-wise, overwriting and returning B.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.r != c.n {
+		panic("mat: Cholesky.SolveMat dimension mismatch")
+	}
+	n, m, l := c.n, b.c, c.l.data
+	c.forwardSweep(b.data, m)
 	for i := n - 1; i >= 0; i-- {
 		bi := b.data[i*m : i*m+m]
 		for k := i + 1; k < n; k++ {
@@ -131,6 +139,44 @@ func (c *Cholesky) Inverse() *Dense {
 	return c.SolveMat(Eye(c.n))
 }
 
+// TraceSolve returns tr(M⁻¹·Y), overwriting y as scratch (y must be n×n).
+// It reuses the existing factorization and runs the same forward/backward
+// sweeps as SolveMat, except that the backward sweep at row i only updates
+// columns j ≤ i: column j of the solution contributes to the trace through
+// element (j, j) alone, which rows i ≥ j fully determine, so the skipped
+// upper-triangle work can never be read. Each element it does compute
+// follows SolveMat's accumulation order exactly, making the result
+// bit-identical to Trace(SolveMat(y)) at half the backward-sweep cost.
+func (c *Cholesky) TraceSolve(y *Dense) float64 {
+	if y.r != c.n || y.c != c.n {
+		panic("mat: Cholesky.TraceSolve requires an n×n matrix")
+	}
+	n, l := c.n, c.l.data
+	c.forwardSweep(y.data, n)
+	// Backward sweep Lᵀ·Z = W, restricted to the columns the trace can
+	// reach (j ≤ i at row i).
+	for i := n - 1; i >= 0; i-- {
+		bi := y.data[i*n : i*n+i+1]
+		for k := i + 1; k < n; k++ {
+			lki := l[k*n+i]
+			if lki == 0 {
+				continue
+			}
+			bk := y.data[k*n : k*n+i+1]
+			for j := range bi {
+				bi[j] -= lki * bk[j]
+			}
+		}
+		d := l[i*n+i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+	// The diagonal now holds Z's diagonal; summing it front-to-back keeps
+	// the accumulation order of Trace(SolveMat(y)) byte-for-byte.
+	return Trace(y)
+}
+
 // SolveSPD solves M·x = b for SPD M, allocating as needed.
 func SolveSPD(m *Dense, b []float64) ([]float64, error) {
 	ch, err := NewCholesky(m)
@@ -142,12 +188,13 @@ func SolveSPD(m *Dense, b []float64) ([]float64, error) {
 	return ch.Solve(x), nil
 }
 
-// TraceSolve returns tr(M⁻¹·Y) for SPD M using one factorization of M.
+// TraceSolve returns tr(M⁻¹·Y) for SPD M using one factorization of M and
+// leaving y intact. Callers that already hold a factorization (or own y and
+// can sacrifice it as scratch) should use Cholesky.TraceSolve directly.
 func TraceSolve(m, y *Dense) (float64, error) {
 	ch, err := NewCholesky(m)
 	if err != nil {
 		return 0, err
 	}
-	z := ch.SolveMat(y.Clone())
-	return Trace(z), nil
+	return ch.TraceSolve(y.Clone()), nil
 }

@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestCholeskyTraceSolveMatchesSolveMat pins the bit-identity contract of
+// the trace-only solve: the skipped upper-triangle back-substitution must
+// not change a single byte of the result relative to the full SolveMat
+// followed by Trace.
+func TestCholeskyTraceSolveMatchesSolveMat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(24)
+		m := randSPD(rng, n)
+		y := NewDense(n, n)
+		d := y.Data()
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+
+		ch, err := NewCholesky(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Trace(ch.SolveMat(y.Clone()))
+		got := ch.TraceSolve(y.Clone())
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: TraceSolve = %v (bits %x), Trace(SolveMat) = %v (bits %x)",
+				n, got, got, want, want)
+		}
+
+		free, err := TraceSolve(m, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(free) != math.Float64bits(want) {
+			t.Fatalf("n=%d: free TraceSolve = %v, want %v", n, free, want)
+		}
+	}
+}
+
+// TestTraceSolveLeavesYIntact guards the free function's documented
+// contract (y is not modified), which the in-place method does not share.
+func TestTraceSolveLeavesYIntact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 8))
+	m := randSPD(rng, 6)
+	y := randSPD(rng, 6)
+	before := y.Clone()
+	if _, err := TraceSolve(m, y); err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(y, before) != 0 {
+		t.Fatal("TraceSolve modified its y argument")
+	}
+}

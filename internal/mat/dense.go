@@ -99,6 +99,17 @@ func (m *Dense) Row(i int) []float64 { return m.data[i*m.c : (i+1)*m.c] }
 // Data returns the backing slice (row-major).
 func (m *Dense) Data() []float64 { return m.data }
 
+// Reshape re-views m as an r×c matrix over data (which is not copied). It
+// exists so hot loops can reuse one Dense header as a window over changing
+// buffers instead of allocating a fresh header per step (see FromData).
+func (m *Dense) Reshape(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), r, c))
+	}
+	m.r, m.c, m.data = r, c, data
+	return m
+}
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.r, m.c)

@@ -65,7 +65,11 @@ func MulNT(dst, a, b *Dense) *Dense {
 	if a.c != b.c {
 		panic("mat: MulNT dimension mismatch")
 	}
-	dst = prepDst(dst, a.r, b.r)
+	// Every output element is assigned (crow[j] = s), never accumulated, so
+	// the destination is not zeroed first — MulNT is the kernel behind the
+	// Kronecker mode contraction, where the extra write pass would be pure
+	// memory traffic on the hottest path in the system.
+	dst = prepDstNoZero(dst, a.r, b.r)
 	if w := MulWorkers(); w > 1 && a.r*a.c*b.r >= parallelFlops {
 		shardRows(w, a.r, a.c*b.r, func(lo, hi int) { mulNTShard(dst, a, b, lo, hi) })
 		return dst
@@ -83,6 +87,51 @@ func MulNT(dst, a, b *Dense) *Dense {
 		}
 	}
 	return dst
+}
+
+// ContractNT computes C = A·Bᵀ — the same contraction as MulNT with the
+// same element-wise accumulation order (each output element is one serial
+// dot product over k ascending, so the two kernels are bit-identical) —
+// but streams B in the OUTER loop. This is the right order when A is
+// cache-resident and B is not: in the Kronecker mode contraction A is a
+// small per-attribute factor (tens of KB) while B is the reshaped
+// data-vector intermediate (MBs), so B must be read exactly once while A
+// stays hot, not re-streamed once per factor row as MulNT's layout would.
+// Above the size threshold B's rows are sharded across cores; every output
+// element is written by exactly one shard.
+func ContractNT(dst, a, b *Dense) *Dense {
+	if a.c != b.c {
+		panic("mat: ContractNT dimension mismatch")
+	}
+	dst = prepDstNoZero(dst, a.r, b.r)
+	if w := MulWorkers(); w > 1 && a.r*a.c*b.r >= parallelFlops {
+		shardRows(w, b.r, a.r*a.c, func(lo, hi int) { contractNTShard(dst, a, b, lo, hi) })
+		return dst
+	}
+	contractNTShard(dst, a, b, 0, b.r)
+	return dst
+}
+
+// contractNTShard computes dst[q, r] for r in [lo, hi): B-row outer, A-row
+// inner, one serial dot product per element (ascending k), written
+// column-strided into dst's row-major layout — the transposed write of the
+// mode contraction. The loop works on hoisted raw slices so the header
+// fields stay in registers and the equal-length row slices let the
+// compiler drop the inner bounds checks.
+func contractNTShard(dst, a, b *Dense, lo, hi int) {
+	n, ar, kk := b.r, a.r, a.c
+	ad, bd, dd := a.data, b.data, dst.data
+	for r := lo; r < hi; r++ {
+		brow := bd[r*kk : r*kk+kk]
+		for q := 0; q < ar; q++ {
+			arow := ad[q*kk : q*kk+kk]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			dd[q*n+r] = s
+		}
+	}
 }
 
 // Gram computes AᵀA, exploiting symmetry (only the upper triangle is
@@ -160,11 +209,21 @@ func MatTVec(dst []float64, a *Dense, y []float64) []float64 {
 
 func prepDst(dst *Dense, r, c int) *Dense {
 	if dst == nil {
+		return NewDense(r, c) // fresh allocations are already zero
+	}
+	dst = prepDstNoZero(dst, r, c)
+	dst.Zero()
+	return dst
+}
+
+// prepDstNoZero shape-checks (or allocates) the destination without zeroing
+// it; for kernels that assign every output element exactly once.
+func prepDstNoZero(dst *Dense, r, c int) *Dense {
+	if dst == nil {
 		return NewDense(r, c)
 	}
 	if dst.r != r || dst.c != c {
 		panic("mat: destination has wrong shape")
 	}
-	dst.Zero()
 	return dst
 }

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/kron"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -145,8 +147,18 @@ func Run(w *workload.Workload, x []float64, eps float64, rng *rand.Rand, opts Op
 // data-vector estimate: ans = weight·(W₁⊗···⊗W_d)·x̂, materializing only
 // the small per-attribute matrices (pᵢ×nᵢ each). Both the one-shot
 // pipeline (AnswerWorkload) and the serving engine answer through this
-// function, so their results cannot diverge.
+// evaluation, so their results cannot diverge.
 func AnswerProduct(p workload.Product, x []float64) ([]float64, error) {
+	ans, err := answerUnweighted(p, x)
+	if err != nil {
+		return nil, err
+	}
+	scaleAnswer(ans, p.Weight)
+	return ans, nil
+}
+
+// answerUnweighted evaluates (W₁⊗···⊗W_d)·x̂ without the product weight.
+func answerUnweighted(p workload.Product, x []float64) ([]float64, error) {
 	ms := make([]*mat.Dense, len(p.Terms))
 	for i, t := range p.Terms {
 		if !t.CanMaterialize() {
@@ -158,25 +170,139 @@ func AnswerProduct(p workload.Product, x []float64) ([]float64, error) {
 	rows, _ := op.Dims()
 	ans := make([]float64, rows)
 	op.MatVec(ans, x)
-	if p.Weight != 1 {
-		for i := range ans {
-			ans[i] *= p.Weight
+	return ans, nil
+}
+
+func scaleAnswer(ans []float64, w float64) {
+	if w == 1 {
+		return
+	}
+	for i := range ans {
+		ans[i] *= w
+	}
+}
+
+// AnswerBatch evaluates a batch of query products on one estimate,
+// returning slot i = weight_i·(⊗W^(i))·x. Products are grouped by their
+// per-attribute predicate-set instances — the distinct (attr, spec) factor
+// sets of the batch — and each distinct factor set is contracted against x
+// exactly once; every other member of its group receives a weight-scaled
+// copy. A serving batch of 500 queries drawn from a handful of specs (the
+// spec parser shares predicate-set instances across identical specs) costs
+// a handful of GEMM sweeps instead of 500. Slot i depends only on
+// products[i] and is bit-identical to AnswerProduct(products[i], x) at any
+// worker count; grouping keys on instance identity, so structurally equal
+// but distinct instances are simply evaluated separately.
+func AnswerBatch(products []workload.Product, x []float64, workers int) ([][]float64, error) {
+	return answerBatch(products, x, workers, false)
+}
+
+// AnswerBatchShared is AnswerBatch for read-only consumers: slots of
+// products that are exact duplicates (same predicate-set instances AND the
+// same weight) alias one answer slice instead of copying it. Callers must
+// not mutate the returned slices. The serialization path of the HTTP
+// daemon uses this — a batch of hundreds of repeated specs costs one
+// contraction and zero copies.
+func AnswerBatchShared(products []workload.Product, x []float64, workers int) ([][]float64, error) {
+	return answerBatch(products, x, workers, true)
+}
+
+func answerBatch(products []workload.Product, x []float64, workers int, shared bool) ([][]float64, error) {
+	reps, members := groupByFactorSet(products)
+
+	type slot struct {
+		ans []float64
+		err error
+	}
+	base := parallel.Map(workers, len(reps), func(g int) slot {
+		ans, err := answerUnweighted(products[reps[g]], x)
+		return slot{ans, err}
+	})
+
+	out := make([][]float64, len(products))
+	for g, sl := range base {
+		if sl.err != nil {
+			return nil, fmt.Errorf("product %d: %w", reps[g], sl.err)
+		}
+		rep := reps[g]
+		repW := products[rep].Weight
+		// Non-alias members copy the still-unweighted base before it is
+		// scaled in place for the representative (and its aliases).
+		for _, pi := range members[g] {
+			if pi == rep || (shared && products[pi].Weight == repW) {
+				continue
+			}
+			cp := append([]float64(nil), sl.ans...)
+			scaleAnswer(cp, products[pi].Weight)
+			out[pi] = cp
+		}
+		scaleAnswer(sl.ans, repW)
+		for _, pi := range members[g] {
+			if out[pi] == nil {
+				out[pi] = sl.ans
+			}
 		}
 	}
-	return ans, nil
+	return out, nil
+}
+
+// groupByFactorSet partitions product indices into groups whose terms
+// compare equal (==) on every attribute. reps[g] is the first batch index
+// of group g (groups are ordered by first occurrence), members[g] all of
+// its indices in batch order. For the pointer-typed built-in predicate
+// sets == is instance identity; a comparable value-typed third-party
+// implementation is grouped by value equality, which its == must therefore
+// imply "same predicate matrix" for (true for any stateless value type).
+// A predicate set whose dynamic type is not comparable gets a group of its
+// own.
+func groupByFactorSet(products []workload.Product) (reps []int, members [][]int) {
+	ids := make(map[workload.PredicateSet]int, 8)
+	groups := make(map[string]int, len(products))
+	var key []byte
+	for pi, p := range products {
+		key = key[:0]
+		grouped := true
+		for _, t := range p.Terms {
+			if t == nil || !reflect.TypeOf(t).Comparable() {
+				grouped = false
+				break
+			}
+			id, ok := ids[t]
+			if !ok {
+				id = len(ids)
+				ids[t] = id
+			}
+			key = binary.AppendUvarint(key, uint64(id))
+		}
+		if !grouped {
+			reps = append(reps, pi)
+			members = append(members, []int{pi})
+			continue
+		}
+		g, ok := groups[string(key)]
+		if !ok {
+			g = len(reps)
+			groups[string(key)] = g
+			reps = append(reps, pi)
+			members = append(members, nil)
+		}
+		members[g] = append(members[g], pi)
+	}
+	return reps, members
 }
 
 // AnswerWorkload evaluates all workload queries on a (possibly private)
 // data-vector estimate: ans = W·x̂, using implicit Kronecker products per
-// union term. Every predicate set must be materializable per attribute.
+// union term, shared across products with identical factor sets. Every
+// predicate set must be materializable per attribute.
 func AnswerWorkload(w *workload.Workload, x []float64) ([]float64, error) {
+	parts, err := AnswerBatch(w.Products, x, 1)
+	if err != nil {
+		return nil, fmt.Errorf("mech: %w", err)
+	}
 	out := make([]float64, 0, w.NumQueries())
-	for pi, p := range w.Products {
-		ans, err := AnswerProduct(p, x)
-		if err != nil {
-			return nil, fmt.Errorf("mech: product %d %w", pi, err)
-		}
-		out = append(out, ans...)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out, nil
 }

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mech"
-	"repro/internal/parallel"
 	"repro/internal/registry"
 	"repro/internal/workload"
 )
@@ -248,26 +247,43 @@ func (e *Engine) Xhat() []float64 { return e.xhat }
 
 // Answer evaluates a batch of query products against the private estimate,
 // returning one answer vector per product (the product's queries in
-// row-major order, scaled by its weight). Products run concurrently on up
-// to Workers goroutines; slot i of the result depends only on products[i],
-// so the output is bit-identical at any worker count. Each product must
-// span the engine's domain and have materializable per-attribute predicate
-// sets.
+// row-major order, scaled by its weight). The batch is grouped by distinct
+// (attr, spec) factor sets — products sharing predicate-set instances on
+// every attribute share one GEMM-backed contraction of x̂ — and distinct
+// factor sets run concurrently on up to Workers goroutines. Slot i of the
+// result depends only on products[i], so the output is bit-identical at
+// any worker count and to answering the products one by one. Each product
+// must span the engine's domain and have materializable per-attribute
+// predicate sets.
 func (e *Engine) Answer(products []workload.Product) ([][]float64, error) {
-	type slot struct {
-		ans []float64
-		err error
-	}
-	results := parallel.Map(e.workers, len(products), func(i int) slot {
-		ans, err := e.answerProduct(products[i])
-		return slot{ans, err}
-	})
-	out := make([][]float64, len(results))
-	for i, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("serve: product %d: %w", i, r.err)
+	return e.answer(products, false)
+}
+
+// AnswerShared is Answer for read-only consumers: slots of exact-duplicate
+// products (same predicate-set instances and weight) alias one slice
+// instead of copying it, so a batch of hundreds of repeated specs performs
+// one contraction and zero copies. Callers must not mutate the returned
+// slices; the HTTP daemon, which serializes the response immediately,
+// answers through this path.
+func (e *Engine) AnswerShared(products []workload.Product) ([][]float64, error) {
+	return e.answer(products, true)
+}
+
+func (e *Engine) answer(products []workload.Product, shared bool) ([][]float64, error) {
+	for i, p := range products {
+		if err := e.validateProduct(p); err != nil {
+			return nil, fmt.Errorf("serve: product %d: %w", i, err)
 		}
-		out[i] = r.ans
+	}
+	var out [][]float64
+	var err error
+	if shared {
+		out, err = mech.AnswerBatchShared(products, e.xhat, e.workers)
+	} else {
+		out, err = mech.AnswerBatch(products, e.xhat, e.workers)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	return out, nil
 }
@@ -290,16 +306,15 @@ func (e *Engine) AnswerWorkload(w *workload.Workload) ([]float64, error) {
 	return out, nil
 }
 
-// answerProduct validates a product against the engine's domain and
-// evaluates it on x̂ through the same helper as the one-shot pipeline.
-func (e *Engine) answerProduct(p workload.Product) ([]float64, error) {
+// validateProduct checks a product's shape against the engine's domain.
+func (e *Engine) validateProduct(p workload.Product) error {
 	if len(p.Terms) != e.w.Domain.NumAttrs() {
-		return nil, fmt.Errorf("has %d terms, domain has %d attributes", len(p.Terms), e.w.Domain.NumAttrs())
+		return fmt.Errorf("has %d terms, domain has %d attributes", len(p.Terms), e.w.Domain.NumAttrs())
 	}
 	for i, t := range p.Terms {
 		if t.Cols() != e.w.Domain.Attr(i).Size {
-			return nil, fmt.Errorf("term %d has %d columns, attribute has size %d", i, t.Cols(), e.w.Domain.Attr(i).Size)
+			return fmt.Errorf("term %d has %d columns, attribute has size %d", i, t.Cols(), e.w.Domain.Attr(i).Size)
 		}
 	}
-	return mech.AnswerProduct(p, e.xhat)
+	return nil
 }

@@ -30,12 +30,12 @@ func BenchmarkServerAnswer(b *testing.B) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	data := make([]float64, 32)
+	data := make([]float64, 2*16*16)
 	for i := range data {
 		data[i] = float64((i * 7) % 13)
 	}
 	regBody, _ := json.Marshal(map[string]any{
-		"domain": []int{2, 16}, "queries": []string{"I,R", "T,P"},
+		"domain": []int{2, 16, 16}, "queries": []string{"I,R,T", "T,P,R"},
 		"data": data, "eps": 1.0, "seed": 7, "restarts": 1,
 	})
 	resp, err := http.Post(ts.URL+"/v1/engines", "application/json", bytes.NewReader(regBody))
@@ -52,7 +52,16 @@ func BenchmarkServerAnswer(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	ansBody, _ := json.Marshal(map[string]any{"queries": []string{"I,R", "T,P", "I,T"}})
+	// A production-shaped batch: hundreds of queries drawn from a handful
+	// of specs. ParseProducts shares predicate-set instances across
+	// identical specs, so the engine answers this with one contraction per
+	// distinct factor set instead of one per query.
+	specs := []string{"I,T,P", "T,P,I", "I,P,P", "T,I,R"}
+	queries := make([]string, 512)
+	for i := range queries {
+		queries[i] = specs[i%len(specs)]
+	}
+	ansBody, _ := json.Marshal(map[string]any{"queries": queries})
 	url := ts.URL + "/v1/engines/" + regResp.Key + "/answer"
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

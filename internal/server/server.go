@@ -377,9 +377,19 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 	}, nil
 }
 
+func (s *Server) answerBudgetExceeded() error {
+	return badRequest("batch demands more than %d values (evaluation intermediates plus materialized query matrices); split the batch or raise the server's MaxAnswerValues", s.cfg.MaxAnswerValues)
+}
+
 // Answer evaluates a batch of product specs on the engine registered under
-// key — the programmatic form of POST /v1/engines/{key}/answer.
+// key — the programmatic form of POST /v1/engines/{key}/answer. Every slot
+// of the response owns its slice; the HTTP handler, whose response is
+// serialized immediately, runs the alias-duplicates fast path instead.
 func (s *Server) Answer(key string, req *AnswerRequest) (*AnswerResponse, error) {
+	return s.answer(key, req, false)
+}
+
+func (s *Server) answer(key string, req *AnswerRequest, shared bool) (*AnswerResponse, error) {
 	eng, ok := s.pool.Get(key)
 	if !ok {
 		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no engine registered under key %q", key)}
@@ -412,11 +422,30 @@ func (s *Server) Answer(key string, req *AnswerRequest) (*AnswerResponse, error)
 	maxVals := float64(s.cfg.MaxAnswerValues)
 	var total float64
 	seen := make(map[string]struct{})
-	for _, p := range products {
+	// Batches repeat specs heavily, so the per-product accounting is
+	// memoized per distinct raw query string (ParseProducts shares the
+	// parsed Product for identical strings) and canonical tokens per
+	// predicate-set instance — the accounting arithmetic and its
+	// accumulation order are unchanged, duplicates still charge their peak.
+	tokens := make(map[workload.PredicateSet]string)
+	peaks := make(map[string]float64)
+	for pi, p := range products {
+		q := req.Queries[pi]
+		if peak, ok := peaks[q]; ok {
+			if total += peak; !(total <= maxVals) {
+				return nil, s.answerBudgetExceeded()
+			}
+			continue
+		}
 		acc := 1.0 // ∏ cols, then factor-by-factor becomes ∏ rows
 		for a, term := range p.Terms {
 			acc *= float64(term.Cols())
-			tk := strconv.Itoa(a) + "|" + workload.CanonicalToken(term)
+			tok, ok := tokens[term]
+			if !ok {
+				tok = workload.CanonicalToken(term)
+				tokens[term] = tok
+			}
+			tk := strconv.Itoa(a) + "|" + tok
 			if _, ok := seen[tk]; !ok {
 				seen[tk] = struct{}{}
 				total += float64(term.Rows()) * float64(term.Cols())
@@ -429,11 +458,20 @@ func (s *Server) Answer(key string, req *AnswerRequest) (*AnswerResponse, error)
 				peak = acc
 			}
 		}
+		peaks[q] = peak
 		if total += peak; !(total <= maxVals) { // NaN/Inf-safe comparison
-			return nil, badRequest("batch demands more than %d values (evaluation intermediates plus materialized query matrices); split the batch or raise the server's MaxAnswerValues", s.cfg.MaxAnswerValues)
+			return nil, s.answerBudgetExceeded()
 		}
 	}
-	answers, err := eng.Answer(products)
+	// On the HTTP path the response is serialized immediately and never
+	// mutated, so duplicate queries in the batch may alias one answer
+	// slice; the programmatic API keeps independent slices.
+	var answers [][]float64
+	if shared {
+		answers, err = eng.AnswerShared(products)
+	} else {
+		answers, err = eng.Answer(products)
+	}
 	if err != nil {
 		// Engine.Answer fails only on product/domain mismatches — caller
 		// input, not server state.
@@ -501,7 +539,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.Answer(r.PathValue("key"), &req)
+	resp, err := s.answer(r.PathValue("key"), &req, true)
 	if err != nil {
 		writeError(w, err)
 		return

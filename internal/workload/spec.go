@@ -65,8 +65,16 @@ func ParseProducts(qs []string, sizes []int) ([]Product, error) {
 		spec string
 	}
 	shared := make(map[termKey]PredicateSet)
+	memo := make(map[string]Product) // whole product per distinct raw spec
 	products := make([]Product, len(qs))
 	for i, q := range qs {
+		if p, ok := memo[q]; ok {
+			// Identical raw spec strings share the whole Product — the
+			// Terms slice included — so a serving batch of repeated specs
+			// parses (and allocates) each distinct spec once.
+			products[i] = p
+			continue
+		}
 		specs := strings.Split(q, ",")
 		if len(specs) != len(sizes) {
 			return nil, fmt.Errorf("workload: query %q has %d specs, domain has %d attributes", q, len(specs), len(sizes))
@@ -86,6 +94,7 @@ func ParseProducts(qs []string, sizes []int) ([]Product, error) {
 			terms[a] = t
 		}
 		products[i] = NewProduct(terms...)
+		memo[q] = products[i]
 	}
 	return products, nil
 }
