@@ -8,6 +8,8 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	hdmm "repro"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -214,19 +217,71 @@ func benchCases(workers int) ([]benchCase, error) {
 		}
 	}})
 
+	// --- Durability: full snapshot codec round-trip of the serving engine
+	// above (encode + decode, no disk) — the fixed cost a registration pays
+	// to become crash-safe and a boot pays per recovered engine.
+	sn := eng.Snapshot("bench-engine", []string{"I,R"})
+	blob, err := snapshot.Encode(sn)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, benchCase{"snapshot/roundtrip", 2 * int64(len(blob)), func() {
+		b, err := snapshot.Encode(sn)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := snapshot.Decode(b); err != nil {
+			panic(err)
+		}
+	}})
+
 	return cases, nil
 }
 
-// cmdBench runs the kernel/reconstruct/serve benchmark harness at worker
-// counts 1 and GOMAXPROCS and writes the results as JSON, seeding the
-// perf trajectory future PRs diff against.
+// parseWorkerSet parses the -workers flag: a comma-separated list of worker
+// counts, deduplicated in order. "" selects the default sweep {1, 2, 4,
+// GOMAXPROCS} (deduplicated, counts above GOMAXPROCS dropped) — enough
+// points to see whether an op scales, flatlines, or inverts.
+func parseWorkerSet(spec string) ([]int, error) {
+	if spec == "" {
+		var set []int
+		seen := map[int]bool{}
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			if w > runtime.GOMAXPROCS(0) || seen[w] {
+				continue
+			}
+			seen[w] = true
+			set = append(set, w)
+		}
+		return set, nil
+	}
+	var set []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers value %q (want positive integers, e.g. 1,4,8)", part)
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		set = append(set, w)
+	}
+	return set, nil
+}
+
+// cmdBench runs the kernel/reconstruct/serve/snapshot benchmark harness
+// across a sweep of worker counts and writes the results as JSON, seeding
+// the perf trajectory future PRs diff against.
 func cmdBench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "BENCH_5.json", "output path for the JSON results")
 	targetMS := fs.Int("benchtime", 250, "minimum milliseconds of measurement per op")
+	workersSpec := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,4 and GOMAXPROCS, deduplicated)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hdmm bench [-out FILE] [-benchtime MS]")
+		fmt.Fprintln(stderr, "usage: hdmm bench [-out FILE] [-benchtime MS] [-workers 1,4,8]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -239,9 +294,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		return usageError("bench takes no positional arguments")
 	}
 
-	workerSet := []int{1, runtime.GOMAXPROCS(0)}
-	if workerSet[1] == 1 {
-		workerSet = workerSet[:1]
+	workerSet, err := parseWorkerSet(*workersSpec)
+	if err != nil {
+		return usageError(err.Error())
 	}
 
 	var results []benchResult

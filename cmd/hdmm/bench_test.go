@@ -15,7 +15,7 @@ import (
 func TestCmdBench(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_test.json")
 	var stdout, stderr bytes.Buffer
-	if err := cmdBench([]string{"-benchtime", "1", "-out", out}, &stdout, &stderr); err != nil {
+	if err := cmdBench([]string{"-benchtime", "1", "-workers", "1,2", "-out", out}, &stdout, &stderr); err != nil {
 		t.Fatalf("cmdBench: %v\nstderr: %s", err, stderr.String())
 	}
 	blob, err := os.ReadFile(out)
@@ -29,11 +29,14 @@ func TestCmdBench(t *testing.T) {
 	want := map[string]bool{
 		"kron/matvec": false, "kron/mattvec": false, "kron/matmul16": false,
 		"reconstruct/kron": false, "reconstruct/union": false, "serve/answer512": false,
+		"snapshot/roundtrip": false,
 	}
+	workerRows := map[int]int{}
 	for _, r := range results {
 		if _, ok := want[r.Op]; ok {
 			want[r.Op] = true
 		}
+		workerRows[r.Workers]++
 		if r.NsPerOp <= 0 || r.Iters <= 0 || r.Workers <= 0 {
 			t.Errorf("%s (workers=%d): non-positive measurement %+v", r.Op, r.Workers, r)
 		}
@@ -45,6 +48,37 @@ func TestCmdBench(t *testing.T) {
 		if !seen {
 			t.Errorf("op %s missing from results", op)
 		}
+	}
+	if workerRows[1] != len(want) || workerRows[2] != len(want) {
+		t.Errorf("worker sweep rows = %v, want %d per requested count", workerRows, len(want))
+	}
+}
+
+// TestParseWorkerSet: the sweep flag deduplicates, keeps order, and rejects
+// garbage; the default sweep is bounded by GOMAXPROCS and starts at 1.
+func TestParseWorkerSet(t *testing.T) {
+	set, err := parseWorkerSet("4, 1,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 || set[0] != 4 || set[1] != 1 || set[2] != 8 {
+		t.Fatalf("parseWorkerSet = %v", set)
+	}
+	for _, bad := range []string{"0", "-2", "x", "1,,2"} {
+		if _, err := parseWorkerSet(bad); err == nil {
+			t.Errorf("parseWorkerSet(%q) accepted", bad)
+		}
+	}
+	def, err := parseWorkerSet("")
+	if err != nil || len(def) == 0 || def[0] != 1 {
+		t.Fatalf("default sweep = %v, %v", def, err)
+	}
+	seen := map[int]bool{}
+	for _, w := range def {
+		if seen[w] {
+			t.Fatalf("default sweep has duplicate %d: %v", w, def)
+		}
+		seen[w] = true
 	}
 }
 

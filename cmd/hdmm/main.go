@@ -5,7 +5,8 @@
 //
 //	hdmm optimize -domain 2,115 -query I,R -cache DIR        # precompute + persist strategy
 //	hdmm serve -domain 2,115 -query I,R -cache DIR -eps 1 data.csv   # load strategy, answer
-//	hdmm serve -http :8080 -cache DIR                        # HTTP answer-serving daemon
+//	hdmm serve -http :8080 -cache DIR -snapshot-dir SNAPS    # HTTP answer-serving daemon
+//	hdmm snapshots -dir SNAPS                                # inspect a snapshot directory
 //	hdmm -domain 2,115 -query I,R -eps 1.0 data.csv          # legacy one-shot run
 //
 // optimize runs strategy selection (the expensive, data-independent step)
@@ -65,6 +66,8 @@ func main() {
 			err = cmdRun(args[1:], os.Stdout, os.Stderr)
 		case "bench":
 			err = cmdBench(args[1:], os.Stdout, os.Stderr)
+		case "snapshots":
+			err = cmdSnapshots(args[1:], os.Stdout, os.Stderr)
 		default:
 			err = cmdRun(args, os.Stdout, os.Stderr)
 		}
@@ -184,6 +187,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	queryFile := wf.fs.String("queries", "", "file of extra query products to answer (one spec per line)")
 	httpAddr := wf.fs.String("http", "", "run the HTTP answer-serving daemon on this address (e.g. :8080)")
 	drain := wf.fs.Duration("drain", 30*time.Second, "how long the daemon waits for in-flight requests on shutdown")
+	snapDir := wf.fs.String("snapshot-dir", "", "durable engine-snapshot directory: a restarted daemon recovers its engines without re-measuring")
 	wf.fs.SetOutput(stderr)
 	if err := wf.fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -194,6 +198,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if *httpAddr != "" {
 		cfg := daemonConfig{
 			cache:    *cache,
+			snapDir:  *snapDir,
 			eps:      *eps,
 			delta:    *delta,
 			seed:     *seed,
@@ -247,14 +252,15 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if wf.fs.NArg() != 1 {
 		return usageError("serve requires exactly one data.csv argument")
 	}
-	drainSet := false
+	var daemonOnly []string
 	wf.fs.Visit(func(f *flag.Flag) {
-		if f.Name == "drain" {
-			drainSet = true
+		switch f.Name {
+		case "drain", "snapshot-dir":
+			daemonOnly = append(daemonOnly, "-"+f.Name)
 		}
 	})
-	if drainSet {
-		return usageError("-drain only applies to the HTTP daemon (-http); one-shot serve answers and exits")
+	if len(daemonOnly) > 0 {
+		return usageError(strings.Join(daemonOnly, ", ") + " only apply to the HTTP daemon (-http); one-shot serve answers and exits")
 	}
 	w, sizes, err := wf.workload()
 	if err != nil {
@@ -309,6 +315,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 // optional workload to pre-register at startup.
 type daemonConfig struct {
 	cache    string
+	snapDir  string // durable engine-snapshot directory ("" = no durability)
 	eps      float64
 	delta    float64
 	seed     uint64
@@ -327,7 +334,7 @@ type daemonConfig struct {
 // after every startup message has been written (tests listen on :0).
 func serveDaemon(ctx context.Context, addr string, cfg daemonConfig, stdout, stderr io.Writer, onReady func(string)) error {
 	hdmm.SetWorkers(cfg.workers)
-	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, Workers: cfg.workers})
+	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, SnapshotDir: cfg.snapDir, Workers: cfg.workers})
 	if err != nil {
 		return err
 	}

@@ -152,6 +152,9 @@ func TestUsageErrors(t *testing.T) {
 	if err := cmdServe([]string{"-domain", "2,16", "-query", "I,R"}, &out, &errb); err == nil {
 		t.Error("serve without data file accepted")
 	}
+	if err := cmdServe([]string{"-domain", "2,16", "-query", "I,R", "-snapshot-dir", "snaps", "nodata.csv"}, &out, &errb); err == nil {
+		t.Error("one-shot serve with -snapshot-dir accepted (snapshots belong to the daemon)")
+	}
 	if err := cmdRun([]string{"-domain", "2,16", "nodata.csv"}, &out, &errb); err == nil {
 		t.Error("run without -query accepted")
 	}
@@ -238,6 +241,109 @@ func TestServeHTTPDaemon(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "shut down cleanly") {
 		t.Fatalf("missing shutdown diagnostic: %s", errb.String())
+	}
+}
+
+// TestServeHTTPDaemonRecovery is the CLI-level kill-and-restart check: a
+// daemon with -snapshot-dir is stopped after answering, a second daemon
+// boots over the same snapshot directory with a FRESH strategy cache, and
+// the pre-registration resolves to the same engine key with byte-identical
+// answers — the snapshots alone carried the engine across the restart.
+func TestServeHTTPDaemonRecovery(t *testing.T) {
+	data := writeTestData(t)
+	snapDir := filepath.Join(t.TempDir(), "snaps")
+	baseCfg := daemonConfig{
+		snapDir:  snapDir,
+		eps:      1.0,
+		seed:     123,
+		restarts: 2,
+		optseed:  9,
+		drain:    2 * time.Second,
+		domain:   "2,16",
+		queries:  []string{"I,R", "T,P"},
+		dataPath: data,
+	}
+	const answerBody = `{"queries":["I,T","T,I"]}`
+
+	boot := func(label string) (key string, answer []byte) {
+		t.Helper()
+		cfg := baseCfg
+		cfg.cache = t.TempDir() // fresh registry every boot: only the snapshots persist
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		var out, errb bytes.Buffer
+		go func() {
+			errc <- serveDaemon(ctx, "127.0.0.1:0", cfg, &out, &errb, func(addr string) { ready <- addr })
+		}()
+		var addr string
+		select {
+		case addr = <-ready:
+		case err := <-errc:
+			t.Fatalf("%s: daemon exited before ready: %v\n%s", label, err, errb.String())
+		}
+		key = strings.TrimSpace(out.String())
+		resp, err := http.Post("http://"+addr+"/v1/engines/"+key+"/answer", "application/json",
+			strings.NewReader(answerBody))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		answer, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: answer status %d: %s", label, resp.StatusCode, answer)
+		}
+		cancel()
+		if err := <-errc; err != nil {
+			t.Fatalf("%s: shutdown: %v", label, err)
+		}
+		return key, answer
+	}
+
+	key1, answer1 := boot("first boot")
+	key2, answer2 := boot("restart")
+	if key2 != key1 {
+		t.Fatalf("restarted daemon derived a different engine key:\n%s\n%s", key1, key2)
+	}
+	if !bytes.Equal(answer1, answer2) {
+		t.Fatalf("answers diverged across restart:\n%s\nvs\n%s", answer1, answer2)
+	}
+
+	// The snapshots subcommand sees the one durable engine and verifies it.
+	var out, errb bytes.Buffer
+	if err := cmdSnapshots([]string{"-dir", snapDir, "-verify"}, &out, &errb); err != nil {
+		t.Fatalf("snapshots -verify: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), key1) || !strings.Contains(out.String(), "1 snapshot(s), 0 failed") {
+		t.Fatalf("snapshots listing:\n%s", out.String())
+	}
+}
+
+// TestCmdSnapshotsUsage: bad invocations and corrupt stores fail loudly.
+func TestCmdSnapshotsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := cmdSnapshots([]string{}, &out, &errb); err == nil {
+		t.Error("snapshots without -dir accepted")
+	}
+	if err := cmdSnapshots([]string{"-dir", t.TempDir(), "extra"}, &out, &errb); err == nil {
+		t.Error("snapshots with positional args accepted")
+	}
+	// A corrupt snapshot lists its reason and fails only under -verify.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if err := cmdSnapshots([]string{"-dir", dir}, &out, &errb); err != nil {
+		t.Fatalf("snapshots over a corrupt store without -verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 failed") {
+		t.Fatalf("listing did not count the corrupt file:\n%s", out.String())
+	}
+	if err := cmdSnapshots([]string{"-dir", dir, "-verify"}, &out, &errb); err == nil {
+		t.Error("snapshots -verify over a corrupt store succeeded")
 	}
 }
 

@@ -257,9 +257,10 @@ func NewEngine(w *Workload, x []float64, eps float64, opts EngineOptions) (*Engi
 type Server = server.Server
 
 // ServerConfig configures the HTTP answer-serving daemon: strategy-cache
-// placement (CacheDir/CacheEntries), the per-engine answering fan-out
-// (Workers), the request-body cap (MaxBodyBytes), and the engine-pool cap
-// (MaxEngines).
+// placement (CacheDir/CacheEntries), the durable engine-snapshot store
+// (SnapshotDir — crash recovery without re-measuring; see the server
+// package docs), the per-engine answering fan-out (Workers), the
+// request-body cap (MaxBodyBytes), and the engine-pool cap (MaxEngines).
 type ServerConfig = server.Config
 
 // NewServer builds the HTTP answer-serving daemon. Mount it on any

@@ -1,0 +1,239 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error a Fault returns.
+var ErrInjected = errors.New("fsx: injected fault")
+
+// ErrCrashed is returned by every operation of a FaultFS after a crash
+// fault fired: the simulated process is dead, nothing it attempts has any
+// effect.
+var ErrCrashed = errors.New("fsx: simulated crash")
+
+// Fault describes one injected failure. Op names the FS method to
+// intercept ("CreateTemp", "Write", "Sync", "Close", "Rename", "Remove",
+// "ReadFile", "ReadDir", "MkdirAll", "Open", "Stat"); Match is a substring
+// the target path must contain ("" matches every path).
+type Fault struct {
+	Op    string
+	Match string
+	// Err is the injected error (ErrInjected when nil, ErrCrashed for
+	// crash faults).
+	Err error
+	// Count is how many times the fault fires before disarming; <= 0 means
+	// every time.
+	Count int
+	// AfterBytes applies to Write faults: that many bytes of the attempted
+	// write land before the error, modeling a torn write. Zero fails the
+	// write outright.
+	AfterBytes int
+	// Crash switches the filesystem into crash mode when the fault fires:
+	// this and every subsequent operation returns ErrCrashed with no side
+	// effects. Whatever already reached the inner filesystem stays there —
+	// exactly the debris a kill -9 between syscalls leaves behind.
+	Crash bool
+}
+
+// FaultFS wraps an FS and injects failures, partial writes, and simulated
+// crashes according to its fault table. It is how the storage-layer tests
+// prove the recovery invariants without a real power cut.
+type FaultFS struct {
+	Inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	crashed bool
+	fired   int
+}
+
+// NewFaultFS wraps inner (nil selects the real OS filesystem).
+func NewFaultFS(inner FS, faults ...*Fault) *FaultFS {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &FaultFS{Inner: inner, faults: faults}
+}
+
+// Arm appends a fault to the table.
+func (f *FaultFS) Arm(fault *Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, fault)
+}
+
+// Fired reports how many faults have fired so far.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Revive clears crash mode (the "restarted process" of a crash test) and
+// any remaining faults.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.faults = nil
+}
+
+// check consults the fault table for op on path. It returns the injected
+// error (nil = proceed) and, for Write faults, how many bytes to let
+// through first (-1 = not a partial-write fault).
+func (f *FaultFS) check(op, path string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed, -1
+	}
+	for _, ft := range f.faults {
+		if ft.Op != op || (ft.Match != "" && !strings.Contains(path, ft.Match)) {
+			continue
+		}
+		if ft.Count > 0 {
+			ft.Count--
+			if ft.Count == 0 {
+				// Disarm in place; a Count that reaches 0 here must not be
+				// confused with the always-fire 0 it was initialized from.
+				ft.Op = ""
+			}
+		}
+		f.fired++
+		if ft.Crash {
+			f.crashed = true
+			return ErrCrashed, ft.AfterBytes
+		}
+		err := ft.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return err, ft.AfterBytes
+	}
+	return nil, -1
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := f.check("MkdirAll", path); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.check("CreateTemp", dir); err != nil {
+		return nil, err
+	}
+	file, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err, _ := f.check("Open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check("Rename", newpath); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err, _ := f.check("Remove", name); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.check("ReadFile", name); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := f.check("ReadDir", name); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err, _ := f.check("Stat", name); err != nil {
+		return nil, err
+	}
+	return f.Inner.Stat(name)
+}
+
+// faultFile threads the fault table through the file handle, so faults can
+// target the Write/Sync/Close steps of the atomic-write protocol
+// individually.
+type faultFile struct {
+	inner File
+	fs    *FaultFS
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, after := ff.fs.check("Write", ff.inner.Name())
+	if err == nil {
+		return ff.inner.Write(p)
+	}
+	// A torn write: AfterBytes land on the inner file (crash debris a
+	// recovery pass must reject), then the error surfaces.
+	n := 0
+	if after > 0 {
+		if after > len(p) {
+			after = len(p)
+		}
+		var werr error
+		n, werr = ff.inner.Write(p[:after])
+		if werr != nil {
+			return n, fmt.Errorf("fsx: partial-write fault: %w", werr)
+		}
+	}
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.fs.check("Sync", ff.inner.Name()); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err, _ := ff.fs.check("Close", ff.inner.Name()); err != nil {
+		// The handle still closes underneath (a dead process's descriptors
+		// are closed by the kernel); only the error is injected.
+		_ = ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,147 @@
+// Package fsx is the storage layer's filesystem seam. The durable stores
+// (the strategy registry, the engine-snapshot store) write through the FS
+// interface instead of calling the os package directly, so tests can
+// inject errors, partial writes, and simulated crashes at any point of the
+// write protocol and prove the recovery invariants — a previous artifact
+// survives a kill mid-write, a torn write is never loaded, a transient
+// error is retried.
+//
+// WriteAtomic is the one crash-safe write protocol both stores share:
+// temp file in the destination directory → write → fsync → close → atomic
+// rename → directory fsync. A reader (or a recovering process) therefore
+// observes either the old bytes or the complete new bytes, never a
+// mixture, and a rename that was acknowledged survives power loss.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// File is the subset of *os.File the write protocol needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations of the durable stores. OS is the
+// production implementation; FaultFS wraps any FS with injected failures.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens for reading (used to fsync directories after a rename).
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the production FS backed by the os package.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (OS) Open(name string) (File, error)               { return os.Open(name) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// WriteAtomic writes blob to path crash-safely: a temp file in path's
+// directory is written, fsynced, closed, and renamed over path, then the
+// directory is fsynced so the rename itself is durable. On any error the
+// temp file is removed (best-effort) and path is untouched — a concurrent
+// reader, or a process recovering after a crash at any step, sees either
+// the previous contents or the complete new contents.
+//
+// Temp files are named "<base>.tmp-*"; stores that scan their directory
+// must skip (or sweep) that pattern, since a crash between write and
+// rename legitimately leaves one behind.
+func WriteAtomic(fsys FS, path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: creating temp file: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
+		return fmt.Errorf("fsx: writing %s: %w", path, err)
+	}
+	// fsync before rename: without it the rename can become durable while
+	// the data is not, and a power loss yields a complete-looking file of
+	// garbage at the final path — exactly what atomic replacement exists
+	// to prevent.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
+		return fmt.Errorf("fsx: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmp.Name())
+		return fmt.Errorf("fsx: closing temp for %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
+		return fmt.Errorf("fsx: renaming into %s: %w", path, err)
+	}
+	// Directory fsync makes the rename durable. Best-effort: some
+	// platforms cannot sync a directory handle, and the file contents are
+	// already safe — the worst a lost rename costs is reappearance of the
+	// previous version, which the atomicity contract allows.
+	if d, err := fsys.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// IsTempName reports whether a directory entry matches WriteAtomic's temp
+// pattern — a leftover of a write that never completed.
+func IsTempName(name string) bool {
+	base := filepath.Base(name)
+	i := len(base)
+	for i > 0 && base[i-1] != '-' {
+		i--
+	}
+	return i > 4 && base[i-5:i] == ".tmp-"
+}
+
+// Retry runs op up to attempts times, doubling the delay between attempts
+// starting from base, and returns nil on the first success or the last
+// error. It is the transient-I/O-error policy of the snapshot write path:
+// a brief EIO or EINTR under load must not cost a tenant its measured
+// state when the very next attempt would have persisted it. retries
+// receives the zero-based attempt number before each retry sleep (nil ok).
+func Retry(attempts int, base time.Duration, op func() error, retries func(attempt int, err error)) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	delay := base
+	for a := 0; a < attempts; a++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if a == attempts-1 {
+			break
+		}
+		if retries != nil {
+			retries(a, err)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+	}
+	return err
+}

@@ -1,0 +1,197 @@
+package fsx_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fsx"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWriteAtomicRoundTrip: the happy path lands exactly the bytes at the
+// destination and leaves no temp debris.
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	want := []byte("the one measurement")
+	if err := fsx.WriteAtomic(fsx.OS{}, path, want); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after a clean write, want 1", len(entries))
+	}
+}
+
+// TestWriteAtomicReplacesPreviousOnlyOnSuccess: a failure at ANY step of
+// the protocol (create, write, sync, close, rename) leaves the previous
+// contents untouched — the invariant every recovery guarantee builds on.
+func TestWriteAtomicReplacesPreviousOnlyOnSuccess(t *testing.T) {
+	for _, op := range []string{"CreateTemp", "Write", "Sync", "Close", "Rename"} {
+		t.Run(op, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "blob.bin")
+			prev := []byte("previous generation")
+			if err := fsx.WriteAtomic(fsx.OS{}, path, prev); err != nil {
+				t.Fatal(err)
+			}
+			ffs := fsx.NewFaultFS(nil, &fsx.Fault{Op: op})
+			err := fsx.WriteAtomic(ffs, path, []byte("new generation that must not land"))
+			if !errors.Is(err, fsx.ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", err)
+			}
+			if got := readFile(t, path); string(got) != string(prev) {
+				t.Fatalf("failed write at step %s clobbered the file: %q", op, got)
+			}
+		})
+	}
+}
+
+// TestWriteAtomicCrashMidWrite: a crash during the temp-file write leaves
+// partial debris (like a real kill -9 would) but never touches the
+// destination; the debris matches the temp-name pattern a recovery scan
+// skips.
+func TestWriteAtomicCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	prev := []byte("previous generation")
+	if err := fsx.WriteAtomic(fsx.OS{}, path, prev); err != nil {
+		t.Fatal(err)
+	}
+	ffs := fsx.NewFaultFS(nil, &fsx.Fault{Op: "Write", AfterBytes: 7, Crash: true})
+	err := fsx.WriteAtomic(ffs, path, []byte("new generation"))
+	if !errors.Is(err, fsx.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("filesystem did not enter crash mode")
+	}
+	if got := readFile(t, path); string(got) != string(prev) {
+		t.Fatalf("crash mid-write clobbered the file: %q", got)
+	}
+	// The torn temp file survives (Remove is dead after the crash) and is
+	// recognizable as debris.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var debris []string
+	for _, e := range entries {
+		if e.Name() == filepath.Base(path) {
+			continue
+		}
+		debris = append(debris, e.Name())
+		if !fsx.IsTempName(e.Name()) {
+			t.Errorf("debris %q does not match the temp pattern recovery skips", e.Name())
+		}
+		b := readFile(t, filepath.Join(dir, e.Name()))
+		if len(b) != 7 {
+			t.Errorf("torn temp holds %d bytes, want the 7 the fault let through", len(b))
+		}
+	}
+	if len(debris) != 1 {
+		t.Fatalf("crash left %d debris files, want 1 torn temp", len(debris))
+	}
+	// Everything after the crash is dead.
+	if _, err := ffs.ReadFile(path); !errors.Is(err, fsx.ErrCrashed) {
+		t.Fatalf("post-crash ReadFile err = %v, want ErrCrashed", err)
+	}
+	// Revive = process restart: the real filesystem state is intact.
+	ffs.Revive()
+	if b, err := ffs.ReadFile(path); err != nil || string(b) != string(prev) {
+		t.Fatalf("after revive: %q, %v", b, err)
+	}
+}
+
+// TestFaultCountAndMatch: a Count-limited fault disarms after firing, and
+// Match scopes faults to paths containing the substring.
+func TestFaultCountAndMatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsx.NewFaultFS(nil, &fsx.Fault{Op: "Rename", Match: "target", Count: 1})
+	a := filepath.Join(dir, "other.bin")
+	if err := fsx.WriteAtomic(ffs, a, []byte("x")); err != nil {
+		t.Fatalf("fault scoped to 'target' hit %q: %v", a, err)
+	}
+	b := filepath.Join(dir, "target.bin")
+	if err := fsx.WriteAtomic(ffs, b, []byte("x")); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("first matching write: err = %v, want ErrInjected", err)
+	}
+	if err := fsx.WriteAtomic(ffs, b, []byte("x")); err != nil {
+		t.Fatalf("fault with Count=1 fired twice: %v", err)
+	}
+	if ffs.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", ffs.Fired())
+	}
+}
+
+// TestRetry: transient errors are retried up to the attempt budget;
+// permanent errors surface the last error after exhausting it.
+func TestRetry(t *testing.T) {
+	calls := 0
+	err := fsx.Retry(3, 0, func() error {
+		calls++
+		if calls < 3 {
+			return fsx.ErrInjected
+		}
+		return nil
+	}, nil)
+	if err != nil || calls != 3 {
+		t.Fatalf("transient: err=%v calls=%d, want nil/3", err, calls)
+	}
+
+	calls = 0
+	retried := 0
+	err = fsx.Retry(3, 0, func() error {
+		calls++
+		return fsx.ErrInjected
+	}, func(int, error) { retried++ })
+	if !errors.Is(err, fsx.ErrInjected) || calls != 3 || retried != 2 {
+		t.Fatalf("permanent: err=%v calls=%d retried=%d, want ErrInjected/3/2", err, calls, retried)
+	}
+
+	calls = 0
+	if err := fsx.Retry(0, time.Nanosecond, func() error { calls++; return nil }, nil); err != nil || calls != 1 {
+		t.Fatalf("attempts<1 must still run once: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestIsTempName pins the debris-recognition pattern to what WriteAtomic
+// actually produces.
+func TestIsTempName(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsx.NewFaultFS(nil, &fsx.Fault{Op: "Sync", Crash: true})
+	_ = fsx.WriteAtomic(ffs, filepath.Join(dir, "key.snap"), []byte("x"))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !fsx.IsTempName(entries[0].Name()) {
+		t.Fatalf("real temp debris not recognized: %v", entries)
+	}
+	if !strings.HasPrefix(entries[0].Name(), "key.snap.tmp-") {
+		t.Fatalf("temp name %q does not carry its destination's base name", entries[0].Name())
+	}
+	for _, name := range []string{"key.snap", "snap", "", "a.tmp", "tmp-123"} {
+		if fsx.IsTempName(name) {
+			t.Errorf("IsTempName(%q) = true, want false", name)
+		}
+	}
+}

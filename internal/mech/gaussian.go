@@ -106,6 +106,7 @@ func MeasureGaussian(a kron.Linear, x []float64, eps, delta float64, rng *rand.R
 		panic("mech: data vector length mismatch")
 	}
 	sigma := GaussianSigma(L2Sensitivity(a), eps, delta)
+	measurementCounter.Add(1)
 	y := make([]float64, rows)
 	a.MatVec(y, x)
 	for i := range y {

@@ -87,6 +87,7 @@ func Measure(a kron.Linear, x []float64, eps float64, rng *rand.Rand) []float64 
 	if eps <= 0 {
 		panic("mech: epsilon must be positive")
 	}
+	measurementCounter.Add(1)
 	y := make([]float64, rows)
 	a.MatVec(y, x)
 	b := a.Sensitivity() / eps

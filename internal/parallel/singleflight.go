@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a panic-safe keyed singleflight: concurrent Do calls with the
+// same key collapse onto one computation, and every caller receives its
+// result. It is the one implementation behind the strategy registry's
+// GetOrCompute, the serving engine pool's GetOrCreate, and the snapshot
+// store's per-key writes, which previously carried three hardened copies
+// of the same protocol.
+//
+// The group owns only the in-flight window; result caching stays with the
+// caller through the lookup/publish hooks. Two properties the callers
+// depend on:
+//
+//   - A panicking compute propagates to the caller that ran it, but the
+//     flight is completed with an error first, so waiters unblock and the
+//     key never wedges (nor permanently consumes an admission slot).
+//   - publish runs before the flight retires, and lookup is re-consulted
+//     at the moment a caller becomes the leader. Together these close the
+//     window where a finishing leader has published its result but
+//     already retired its flight: without the re-check, a caller that
+//     missed the cache just before the publish would become a new leader
+//     and recompute — for the engine pool that recomputation is a second
+//     private measurement, i.e. silently doubled ε-spend.
+//
+// The zero Group is ready to use.
+type Group[V any] struct {
+	mu       sync.Mutex
+	inflight map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Len reports the number of active flights (for diagnostics; admission
+// decisions should use the admit hook, which sees a consistent count).
+func (g *Group[V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.inflight)
+}
+
+// Do returns the value for key, collapsing concurrent callers onto one
+// computation. The hooks, all optional except compute:
+//
+//   - lookup consults the caller's cache. It runs before joining a flight
+//     and again after this caller becomes the leader (see the type
+//     comment); returning ok short-circuits without computing.
+//   - admit runs under the group lock just before a new flight would be
+//     created, with the number of other active flights; a non-nil error
+//     rejects the call without computing (capacity checks).
+//   - compute runs at most once per flight.
+//   - publish stores a successful result into the caller's cache before
+//     any waiter wakes and before the flight retires.
+//
+// leader reports whether THIS call ran compute: false for lookup hits and
+// for callers that joined another caller's flight. Errors (and panics) are
+// delivered to every caller of the flight but nothing is published, so
+// later calls retry.
+func (g *Group[V]) Do(
+	key string,
+	lookup func() (V, bool),
+	admit func(inflight int) error,
+	compute func() (V, error),
+	publish func(V),
+) (v V, leader bool, err error) {
+	var zero V
+	if lookup != nil {
+		if v, ok := lookup(); ok {
+			return v, false, nil
+		}
+	}
+	g.mu.Lock()
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, false, f.err
+	}
+	if admit != nil {
+		if err := admit(len(g.inflight)); err != nil {
+			g.mu.Unlock()
+			return zero, false, err
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	if g.inflight == nil {
+		g.inflight = make(map[string]*flight[V])
+	}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	// The cleanup must run even if compute panics: otherwise the key
+	// wedges (every later caller blocks on f.done forever). The panic
+	// itself still propagates to this caller; waiters get an error.
+	completed := false
+	ranCompute := false
+	defer func() {
+		if !completed {
+			f.val, f.err = zero, fmt.Errorf("parallel: computing %q panicked", key)
+		}
+		if ranCompute && f.err == nil && publish != nil {
+			publish(f.val)
+		}
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	if lookup != nil {
+		if v, ok := lookup(); ok {
+			f.val, f.err = v, nil
+			completed = true
+			return v, false, nil
+		}
+	}
+	ranCompute = true
+	f.val, f.err = compute()
+	completed = true
+	return f.val, true, f.err
+}

@@ -1,0 +1,82 @@
+package registry
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsx"
+)
+
+// TestPutCrashLeavesPreviousStrategyIntact: the registry's disk path runs
+// the same crash-safe protocol as the snapshot store — a crash at any step
+// of a rewrite leaves the previously persisted strategy loadable.
+func TestPutCrashLeavesPreviousStrategyIntact(t *testing.T) {
+	for _, op := range []string{"CreateTemp", "Write", "Sync", "Close", "Rename"} {
+		t.Run(op, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := fsx.NewFaultFS(nil)
+			r, err := OpenFS(dir, 0, ffs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(1, 1))
+			prev := sampleRecords(rng)[0]
+			if err := r.Put("k", prev); err != nil {
+				t.Fatal(err)
+			}
+			next := sampleRecords(rng)[0] // same kind, different bits
+			ffs.Arm(&fsx.Fault{Op: op, Crash: true, AfterBytes: 5})
+			if err := r.Put("k", next); !errors.Is(err, fsx.ErrCrashed) {
+				t.Fatalf("err = %v, want ErrCrashed", err)
+			}
+
+			// "Restart" over the real filesystem: the previous strategy
+			// must decode; a torn temp must not shadow it.
+			r2, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, ok, err := r2.Get("k")
+			if err != nil || !ok {
+				t.Fatalf("previous strategy lost after crash at %s: ok=%v err=%v", op, ok, err)
+			}
+			recordsEqual(t, prev, rec)
+		})
+	}
+}
+
+// TestGetOrComputeBestEffortPersistence: a registry whose disk is broken
+// still serves the computed strategy (and caches it in memory) — a
+// configured cache must never make serving fail where no cache would
+// succeed.
+func TestGetOrComputeBestEffortPersistence(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsx.NewFaultFS(nil, &fsx.Fault{Op: "CreateTemp"})
+	r, err := OpenFS(dir, 0, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Record{Strategy: &core.IdentityStrategy{N: 4}, Err: 2, Operator: "Identity"}
+	computes := 0
+	compute := func() (*Record, error) { computes++; return want, nil }
+	rec, fromCache, err := r.GetOrCompute("k", compute)
+	if err != nil || fromCache || rec != want {
+		t.Fatalf("rec=%v fromCache=%v err=%v", rec, fromCache, err)
+	}
+	// Served from memory on the second call despite the dead disk.
+	rec, fromCache, err = r.GetOrCompute("k", compute)
+	if err != nil || !fromCache || rec != want || computes != 1 {
+		t.Fatalf("second call: rec=%v fromCache=%v err=%v computes=%d", rec, fromCache, err, computes)
+	}
+	// Nothing half-written landed on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("broken disk grew %d files", len(entries))
+	}
+}

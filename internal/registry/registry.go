@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fsx"
+	"repro/internal/parallel"
 )
 
 // DefaultMemEntries is the in-memory LRU capacity when the caller does not
@@ -21,7 +24,8 @@ const fileExt = ".strat"
 // GetOrCompute collapses concurrent misses on the same key into a single
 // computation (every waiter gets the one result).
 type Registry struct {
-	dir string // "" = memory only
+	dir  string // "" = memory only
+	fsys fsx.FS // disk access seam (fault-injectable in tests)
 
 	hits   atomic.Uint64 // lookups served from memory or disk
 	misses atomic.Uint64 // lookups that computed (or failed to)
@@ -30,7 +34,8 @@ type Registry struct {
 	capacity int
 	items    map[string]*list.Element // key -> element whose Value is *entry
 	order    *list.List               // front = most recently used
-	inflight map[string]*flight
+
+	flights parallel.Group[cached]
 }
 
 // Stats is a snapshot of the registry's lookup counters. Every Get and
@@ -63,10 +68,11 @@ type entry struct {
 	rec *Record
 }
 
-type flight struct {
-	done      chan struct{}
+// cached is the singleflight value of GetOrCompute: the record plus where
+// it came from, so waiters collapsed into another caller's flight count
+// the shared outcome.
+type cached struct {
 	rec       *Record
-	err       error
 	fromCache bool
 }
 
@@ -107,8 +113,18 @@ func Shared(dir string, memEntries int) (*Registry, error) {
 // in-memory LRU; <= 0 selects DefaultMemEntries. Most callers want Shared
 // instead, which reuses one instance per placement process-wide.
 func Open(dir string, memEntries int) (*Registry, error) {
+	return OpenFS(dir, memEntries, nil)
+}
+
+// OpenFS is Open with an explicit filesystem (nil selects the real OS
+// filesystem) — the seam the fault-injection tests thread errors, partial
+// writes and simulated crashes through.
+func OpenFS(dir string, memEntries int, fsys fsx.FS) (*Registry, error) {
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("registry: creating store dir: %w", err)
 		}
 	}
@@ -117,10 +133,10 @@ func Open(dir string, memEntries int) (*Registry, error) {
 	}
 	return &Registry{
 		dir:      dir,
+		fsys:     fsys,
 		capacity: memEntries,
 		items:    make(map[string]*list.Element),
 		order:    list.New(),
-		inflight: make(map[string]*flight),
 	}, nil
 }
 
@@ -154,7 +170,7 @@ func (r *Registry) Get(key string) (*Record, bool, error) {
 		r.count(false)
 		return nil, false, nil
 	}
-	blob, err := os.ReadFile(r.Path(key))
+	blob, err := r.fsys.ReadFile(r.Path(key))
 	if os.IsNotExist(err) {
 		r.count(false)
 		return nil, false, nil
@@ -174,10 +190,12 @@ func (r *Registry) Get(key string) (*Record, bool, error) {
 }
 
 // Put stores a record on disk (if the registry has a directory) and then
-// in memory. The disk write is atomic (temp file + rename), so a
-// concurrent reader never observes a half-written strategy; the memory
-// insert happens only after the persist succeeds, so a failed Put leaves
-// no cached record that would mask the failure from retries.
+// in memory. The disk write goes through the shared crash-safe protocol
+// (temp file + fsync + atomic rename), so a concurrent reader — or a
+// process recovering after a crash — never observes a half-written
+// strategy; the memory insert happens only after the persist succeeds, so
+// a failed Put leaves no cached record that would mask the failure from
+// retries.
 func (r *Registry) Put(key string, rec *Record) error {
 	if r.dir == "" {
 		r.memPut(key, rec)
@@ -187,21 +205,7 @@ func (r *Registry) Put(key string, rec *Record) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(r.dir, key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("registry: writing strategy: %w", err)
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("registry: writing strategy: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("registry: writing strategy: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), r.Path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsx.WriteAtomic(r.fsys, r.Path(key), blob); err != nil {
 		return fmt.Errorf("registry: writing strategy: %w", err)
 	}
 	r.memPut(key, rec)
@@ -218,47 +222,38 @@ func (r *Registry) Put(key string, rec *Record) error {
 // memory — a configured cache must never make serving fail where no cache
 // would succeed. Use Put directly for strict persistence semantics.
 func (r *Registry) GetOrCompute(key string, compute func() (*Record, error)) (rec *Record, fromCache bool, err error) {
-	r.mu.Lock()
-	if el, ok := r.items[key]; ok {
-		r.order.MoveToFront(el)
-		rec = el.Value.(*entry).rec
-		r.mu.Unlock()
-		r.count(true)
-		return rec, true, nil
-	}
-	if f, ok := r.inflight[key]; ok {
-		r.mu.Unlock()
-		<-f.done
-		r.count(f.fromCache && f.err == nil)
-		return f.rec, f.fromCache, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	r.inflight[key] = f
-	r.mu.Unlock()
-
-	// Cleanup must survive a panicking compute: otherwise the key wedges —
-	// every later caller blocks on f.done forever. The panic propagates to
-	// the computing caller; waiters get an error.
-	completed := false
+	// Every call counts exactly one lookup outcome, including the caller a
+	// panicking compute unwinds through (parallel.Group completes the
+	// flight for waiters; the panic itself propagates here).
+	counted := false
 	defer func() {
-		if !completed {
-			f.rec, f.fromCache, f.err = nil, false, fmt.Errorf("registry: computing %s panicked", key)
+		if !counted {
+			r.count(false)
 		}
-		r.mu.Lock()
-		delete(r.inflight, key)
-		r.mu.Unlock()
-		close(f.done)
-		r.count(f.fromCache && f.err == nil)
 	}()
-	f.rec, f.fromCache, f.err = r.fill(key, compute)
-	completed = true
-	return f.rec, f.fromCache, f.err
+	v, _, err := r.flights.Do(key,
+		func() (cached, bool) {
+			if rec := r.memGet(key); rec != nil {
+				return cached{rec: rec, fromCache: true}, true
+			}
+			return cached{}, false
+		},
+		nil,
+		func() (cached, error) {
+			rec, fromCache, err := r.fill(key, compute)
+			return cached{rec: rec, fromCache: fromCache}, err
+		},
+		nil, // fill publishes into the LRU itself (memory insert only after a successful persist)
+	)
+	counted = true
+	r.count(v.fromCache && err == nil)
+	return v.rec, v.fromCache, err
 }
 
 // fill loads key from disk or computes it, storing the result.
 func (r *Registry) fill(key string, compute func() (*Record, error)) (*Record, bool, error) {
 	if r.dir != "" {
-		if blob, err := os.ReadFile(r.Path(key)); err == nil {
+		if blob, err := r.fsys.ReadFile(r.Path(key)); err == nil {
 			if rec, err := Decode(blob); err == nil {
 				r.memPut(key, rec)
 				return rec, true, nil

@@ -65,6 +65,8 @@ type Engine struct {
 	rootMSE   float64
 	eps       float64
 	delta     float64
+	y         []float64 // the noisy measurement vector (what the budget bought)
+	seed      uint64    // noise seed of the measurement (0 = fresh entropy)
 }
 
 // NewEngine builds a serving engine: it resolves the strategy through the
@@ -151,6 +153,8 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		rootMSE:   rootMSE,
 		eps:       eps,
 		delta:     opts.Delta,
+		y:         y,
+		seed:      opts.Seed,
 	}, nil
 }
 
@@ -244,6 +248,15 @@ func (e *Engine) ExpectedErr() float64 { return e.errF }
 // Xhat returns the private estimate of the data vector. Callers must treat
 // it as read-only; every function of it is privacy-free post-processing.
 func (e *Engine) Xhat() []float64 { return e.xhat }
+
+// Measurement returns the noisy measurement vector y — the state the
+// privacy budget bought (already differentially private; the raw data
+// vector is NOT retained by the engine). Callers must treat it as
+// read-only. Snapshot persistence serializes this.
+func (e *Engine) Measurement() []float64 { return e.y }
+
+// Seed returns the noise seed the measurement used (0 = fresh entropy).
+func (e *Engine) Seed() uint64 { return e.seed }
 
 // Answer evaluates a batch of query products against the private estimate,
 // returning one answer vector per product (the product's queries in

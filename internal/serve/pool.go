@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/parallel"
 )
 
 // ErrPoolFull is returned by Pool.GetOrCreate when registering a new key
@@ -12,10 +14,11 @@ var ErrPoolFull = errors.New("serve: engine pool is at capacity")
 // Pool is a keyed collection of serving engines behind one process: one
 // engine per tenant key (workload + budget + data), all sharing whatever
 // strategy registry their constructions use. Construction is singleflight
-// per key, mirroring registry.GetOrCompute: concurrent registrations of the
-// same tenant run the expensive build (strategy lookup-or-optimization plus
-// the one private measurement) exactly once, and every caller gets the one
-// engine. A failed build is not cached — later calls retry.
+// per key on parallel.Group — the same hardened protocol behind
+// registry.GetOrCompute: concurrent registrations of the same tenant run
+// the expensive build (strategy lookup-or-optimization plus the one
+// private measurement) exactly once, and every caller gets the one engine.
+// A failed build is not cached — later calls retry.
 //
 // The pool holds at most limit engines. Unlike the strategy registry's LRU
 // this is a hard cap with rejection, not eviction: every engine owns a
@@ -24,25 +27,18 @@ var ErrPoolFull = errors.New("serve: engine pool is at capacity")
 // tenant's back. Each engine also pins a domain-sized x̂, so an unbounded
 // pool would let registration traffic grow process memory without limit.
 type Pool struct {
-	limit    int // <= 0: unlimited
-	mu       sync.Mutex
-	engines  map[string]*Engine
-	inflight map[string]*poolFlight
-}
-
-type poolFlight struct {
-	done chan struct{}
-	eng  *Engine
-	err  error
+	limit   int // <= 0: unlimited
+	mu      sync.Mutex
+	engines map[string]*Engine
+	group   parallel.Group[*Engine]
 }
 
 // NewPool returns an empty engine pool capped at limit engines (<= 0 for
 // no cap).
 func NewPool(limit int) *Pool {
 	return &Pool{
-		limit:    limit,
-		engines:  make(map[string]*Engine),
-		inflight: make(map[string]*poolFlight),
+		limit:   limit,
+		engines: make(map[string]*Engine),
 	}
 }
 
@@ -54,6 +50,24 @@ func (p *Pool) Get(key string) (*Engine, bool) {
 	return eng, ok
 }
 
+// Add registers an already-built engine under key — the recovery path,
+// where the engine was rehydrated from a snapshot rather than built by a
+// registration. It respects the pool limit and never replaces a live
+// engine (two engines under one key would mean two measurements claiming
+// one identity).
+func (p *Pool) Add(key string, eng *Engine) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.engines[key]; ok {
+		return errors.New("serve: key already registered")
+	}
+	if p.limit > 0 && len(p.engines) >= p.limit {
+		return ErrPoolFull
+	}
+	p.engines[key] = eng
+	return nil
+}
+
 // GetOrCreate returns the engine for key, building it with build on a miss.
 // Concurrent callers with the same key share one build. found reports
 // whether THIS call caused the build: false only for the one caller whose
@@ -63,46 +77,36 @@ func (p *Pool) Get(key string) (*Engine, bool) {
 // found answers, so a waiter must not look like a second measurement. When
 // a new key would push the pool past its limit — counting builds in
 // flight, so racing registrations cannot overshoot — GetOrCreate returns
-// ErrPoolFull.
+// ErrPoolFull. (The in-flight count is conservative: a racer may
+// transiently see a finishing build both published and still in flight
+// near the cap, which can only reject spuriously, never overshoot.)
 func (p *Pool) GetOrCreate(key string, build func() (*Engine, error)) (eng *Engine, found bool, err error) {
-	p.mu.Lock()
-	if eng, ok := p.engines[key]; ok {
-		p.mu.Unlock()
-		return eng, true, nil
+	eng, leader, err := p.group.Do(key,
+		func() (*Engine, bool) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			e, ok := p.engines[key]
+			return e, ok
+		},
+		func(inflight int) error {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if p.limit > 0 && len(p.engines)+inflight >= p.limit {
+				return ErrPoolFull
+			}
+			return nil
+		},
+		build,
+		func(e *Engine) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.engines[key] = e
+		},
+	)
+	if err != nil {
+		return nil, false, err
 	}
-	if f, ok := p.inflight[key]; ok {
-		p.mu.Unlock()
-		<-f.done
-		return f.eng, f.err == nil, f.err
-	}
-	if p.limit > 0 && len(p.engines)+len(p.inflight) >= p.limit {
-		p.mu.Unlock()
-		return nil, false, ErrPoolFull
-	}
-	f := &poolFlight{done: make(chan struct{})}
-	p.inflight[key] = f
-	p.mu.Unlock()
-
-	// The cleanup must run even if build panics: otherwise the key wedges
-	// (every later caller blocks on f.done forever) and the stale inflight
-	// entry permanently consumes a capacity slot. The panic itself still
-	// propagates to the building caller; waiters get an error.
-	completed := false
-	defer func() {
-		if !completed {
-			f.eng, f.err = nil, errors.New("serve: engine construction panicked")
-		}
-		p.mu.Lock()
-		if f.err == nil {
-			p.engines[key] = f.eng
-		}
-		delete(p.inflight, key)
-		p.mu.Unlock()
-		close(f.done)
-	}()
-	f.eng, f.err = build()
-	completed = true
-	return f.eng, false, f.err
+	return eng, !leader, nil
 }
 
 // Len reports the number of registered engines.

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/registry"
+	"repro/internal/schema"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// Snapshot captures the engine's durable state under the given pool key.
+// queries are the raw product specs the engine was registered with (the
+// engine itself holds parsed products; the specs round-trip the workload
+// deterministically and are what a restarted process re-parses).
+//
+// The snapshot holds NO raw data: x is gone the moment construction
+// returns, and y/x̂ are differentially private by post-processing.
+func (e *Engine) Snapshot(key string, queries []string) *snapshot.Snapshot {
+	return &snapshot.Snapshot{
+		Key:         key,
+		StrategyKey: e.key,
+		Eps:         e.eps,
+		Delta:       e.delta,
+		Seed:        e.seed,
+		RootMSE:     e.rootMSE,
+		Domain:      e.w.Domain.AttrSizes(),
+		Queries:     queries,
+		Record:      &registry.Record{Strategy: e.strategy, Err: e.errF, Operator: e.operator},
+		Y:           e.y,
+		Xhat:        e.xhat,
+	}
+}
+
+// Restore rebuilds a serving engine from a decoded snapshot WITHOUT
+// touching private data: no optimizer run, no measurement, no noise draw —
+// the recovered engine answers byte-identically to the one that wrote the
+// snapshot because it serves the very same x̂ bits.
+//
+// The codec already proved structural integrity (magic, CRC, bounds);
+// Restore owns the semantic validation the codec cannot do: the queries
+// must parse over the domain, the strategy must fit the workload, and the
+// vector lengths must match the strategy's shape. A snapshot failing any
+// of these is rejected with an error — the store quarantines it; nothing
+// ever "heals" a snapshot by recomputing, since the recompute would be a
+// second measurement.
+func Restore(sn *snapshot.Snapshot, workers int) (*Engine, error) {
+	if math.IsNaN(sn.Eps) || math.IsInf(sn.Eps, 0) || sn.Eps <= 0 {
+		return nil, fmt.Errorf("serve: snapshot has invalid eps %v", sn.Eps)
+	}
+	if math.IsNaN(sn.Delta) || sn.Delta < 0 || sn.Delta >= 1 {
+		return nil, fmt.Errorf("serve: snapshot has invalid delta %v", sn.Delta)
+	}
+	if sn.Record == nil || sn.Record.Strategy == nil {
+		return nil, fmt.Errorf("serve: snapshot has no strategy")
+	}
+	products, err := workload.ParseProducts(sn.Queries, sn.Domain)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot queries: %w", err)
+	}
+	w, err := workload.New(schema.Sizes(sn.Domain...), products...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot workload: %w", err)
+	}
+	if err := strategyMatchesWorkload(sn.Record.Strategy, w); err != nil {
+		return nil, fmt.Errorf("serve: snapshot strategy does not fit its workload: %w", err)
+	}
+	rows, _ := sn.Record.Strategy.Operator().Dims()
+	if len(sn.Y) != rows {
+		return nil, fmt.Errorf("serve: snapshot measurement has %d values, strategy has %d rows", len(sn.Y), rows)
+	}
+	if len(sn.Xhat) != w.Domain.Size() {
+		return nil, fmt.Errorf("serve: snapshot estimate has %d values, domain has %d cells", len(sn.Xhat), w.Domain.Size())
+	}
+	return &Engine{
+		w:         w,
+		strategy:  sn.Record.Strategy,
+		operator:  sn.Record.Operator,
+		errF:      sn.Record.Err,
+		xhat:      sn.Xhat,
+		workers:   workers,
+		fromCache: true, // the strategy came from durable state, not a fresh optimization
+		key:       sn.StrategyKey,
+		rootMSE:   sn.RootMSE,
+		eps:       sn.Eps,
+		delta:     sn.Delta,
+		y:         sn.Y,
+		seed:      sn.Seed,
+	}, nil
+}

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
+	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -64,6 +67,57 @@ func (m *metrics) snapshot() map[string]EndpointStats {
 		out[name] = s
 	}
 	return out
+}
+
+// prometheus renders the metrics document in Prometheus text exposition
+// format 0.0.4 — the default /metrics representation, so a stock scraper
+// points at the daemon with zero glue. Endpoint labels are emitted in
+// sorted order: the output is deterministic, which keeps golden tests and
+// scrape diffs honest.
+func (m *MetricsResponse) prometheus() []byte {
+	var b bytes.Buffer
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(&b, "# HELP hdmm_engines Serving engines currently registered.\n# TYPE hdmm_engines gauge\nhdmm_engines %d\n", m.Engines)
+	counter("hdmm_strategy_cache_hits_total", "Strategy lookups served from memory or disk.", m.StrategyCache.Hits)
+	counter("hdmm_strategy_cache_misses_total", "Strategy lookups that had to optimize.", m.StrategyCache.Misses)
+
+	names := make([]string, 0, len(m.Endpoints))
+	for name := range m.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	row := func(metric, typ, help string, value func(EndpointStats) any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s{endpoint=%q} %v\n", metric, name, value(m.Endpoints[name]))
+		}
+	}
+	if len(names) > 0 {
+		row("hdmm_endpoint_requests_total", "Requests handled, by endpoint.", "counter",
+			func(e EndpointStats) any { return e.Requests })
+		row("hdmm_endpoint_errors_total", "Responses with status >= 400, by endpoint.", "counter",
+			func(e EndpointStats) any { return e.Errors })
+		row("hdmm_endpoint_latency_mean_ms", "Mean handler latency in milliseconds.", "gauge",
+			func(e EndpointStats) any { return e.MeanMs })
+		row("hdmm_endpoint_latency_max_ms", "Max handler latency in milliseconds.", "gauge",
+			func(e EndpointStats) any { return e.MaxMs })
+	}
+
+	if s := m.Snapshots; s != nil {
+		counter("hdmm_snapshot_writes_total", "Engine snapshots persisted crash-safely.", s.Writes)
+		counter("hdmm_snapshot_write_errors_total", "Snapshot saves that failed after retries.", s.WriteErrors)
+		counter("hdmm_snapshot_write_retries_total", "Transient-error retries during snapshot saves.", s.WriteRetries)
+		counter("hdmm_snapshot_recovered_total", "Engines rehydrated from snapshots at boot.", s.Recovered)
+		counter("hdmm_snapshot_quarantined_total", "Corrupt or rejected snapshots set aside.", s.Quarantined)
+	}
+	degraded := 0
+	if m.Degraded {
+		degraded = 1
+	}
+	fmt.Fprintf(&b, "# HELP hdmm_degraded 1 when durability is configured but not fully healthy.\n# TYPE hdmm_degraded gauge\nhdmm_degraded %d\n", degraded)
+	return b.Bytes()
 }
 
 // statusWriter records the response status for the metrics middleware.

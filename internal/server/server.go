@@ -39,12 +39,14 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -108,6 +110,16 @@ type Config struct {
 	CacheDir string
 	// CacheEntries bounds the registry's in-memory LRU (<= 0 = default).
 	CacheEntries int
+	// SnapshotDir is the durable engine-snapshot store ("" = no
+	// durability). Every registration that takes a measurement persists
+	// its engine state there crash-safely, and a restarted daemon
+	// rehydrates those engines byte-identically — no optimizer restart, no
+	// new measurement, no new noise draw. When the directory is
+	// unavailable or a snapshot is corrupt the daemon serves from memory
+	// and surfaces a degraded flag in /healthz and /metrics; corrupt
+	// snapshots are quarantined, never deleted and never recomputed
+	// (recomputing would spend privacy budget a second time).
+	SnapshotDir string
 	// Workers bounds each engine's answering fan-out and strategy-selection
 	// parallelism (<= 0 = all cores). Answers are bit-identical for any
 	// value.
@@ -145,7 +157,11 @@ type Server struct {
 	pool   *serve.Pool
 	mux    *http.ServeMux
 	met    *metrics
-	secret [32]byte // per-process key-derivation secret; see engineKey
+	secret [32]byte // key-derivation secret; persisted with the snapshots (see engineKey)
+
+	// snaps is the durable engine store (nil when SnapshotDir is "" or the
+	// store could not be opened — the latter serves degraded from memory).
+	snaps *snapshot.Store
 }
 
 // New builds a Server for cfg, backed by the process-wide shared registry
@@ -194,6 +210,9 @@ func NewWithRegistry(cfg Config, reg *registry.Registry) (*Server, error) {
 	if _, err := crand.Read(s.secret[:]); err != nil {
 		return nil, fmt.Errorf("server: reading key-derivation secret: %w", err)
 	}
+	if cfg.SnapshotDir != "" {
+		s.openSnapshots(cfg.SnapshotDir)
+	}
 	s.mux.Handle("POST /v1/engines", s.instrument("register", s.handleRegister))
 	s.mux.Handle("POST /v1/engines/{key}/answer", s.instrument("answer", s.handleAnswer))
 	s.mux.Handle("GET /v1/engines/{key}", s.instrument("engine_get", s.handleEngineGet))
@@ -203,6 +222,68 @@ func NewWithRegistry(cfg Config, reg *registry.Registry) (*Server, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// openSnapshots attaches the durable engine store and runs boot-time
+// recovery. Every failure path here DEGRADES rather than aborts: a daemon
+// that cannot reach its snapshot directory still serves — new engines live
+// in memory only — because refusing to start would turn a disk problem
+// into an outage, while re-measuring would turn it into a privacy bug.
+func (s *Server) openSnapshots(dir string) {
+	st, err := snapshot.Open(dir, nil)
+	if err != nil {
+		log.Printf("hdmm server: snapshot store unavailable, serving without durability: %v", err)
+		return // s.snaps stays nil; degraded() reports it
+	}
+	s.snaps = st
+	// The key-derivation secret must survive restarts: engine keys mix it,
+	// so a fresh secret would make an idempotent re-registration of a
+	// recovered tenant derive a NEW key, miss the pool, and take a second
+	// measurement. Recovery itself is immune (snapshots store final keys).
+	if sec, err := st.LoadOrCreateSecret(); err != nil {
+		log.Printf("hdmm server: key-derivation secret unavailable, re-registrations will not reuse recovered engines: %v", err)
+		st.MarkDegraded()
+	} else {
+		s.secret = sec
+	}
+	n, err := st.Recover(func(sn *snapshot.Snapshot) error {
+		eng, err := serve.Restore(sn, s.cfg.Workers)
+		if err != nil {
+			return err // semantic validation failure: the store quarantines it
+		}
+		if err := s.pool.Add(sn.Key, eng); err != nil {
+			// A full pool (limit shrank across the restart) is not a
+			// corrupt snapshot: leave the file for a roomier boot.
+			st.MarkDegraded()
+			return snapshot.ErrSkip
+		}
+		// Re-seed the strategy registry so re-registrations and metadata
+		// lookups hit the cache. Best-effort: the engine is whole without
+		// it (the strategy rides inside the snapshot).
+		if err := s.reg.Put(sn.StrategyKey, sn.Record); err != nil {
+			log.Printf("hdmm server: re-seeding strategy %s: %v", sn.StrategyKey, err)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Printf("hdmm server: snapshot recovery aborted, serving from memory: %v", err)
+		return
+	}
+	if n > 0 {
+		log.Printf("hdmm server: recovered %d engine(s) from %s", n, dir)
+	}
+}
+
+// degraded reports whether durable state is configured but not fully
+// healthy: the store would not open, a snapshot failed to persist, or
+// recovery quarantined (or could not adopt) a file. Surfaced on /healthz
+// and /metrics so operators see silent durability loss before a crash
+// turns it into re-spent budget.
+func (s *Server) degraded() bool {
+	if s.cfg.SnapshotDir == "" {
+		return false
+	}
+	return s.snaps == nil || s.snaps.Stats().Degraded
+}
 
 // RegisterRequest registers one tenant: a workload over a domain, the data
 // vector it is answered from, and the privacy budget of the one
@@ -263,11 +344,19 @@ type EngineInfo struct {
 	NumQueries   int     `json:"num_queries"`
 }
 
-// MetricsResponse is the /metrics document.
+// MetricsResponse is the /metrics document (JSON form; the endpoint
+// defaults to Prometheus text exposition and serves this shape when the
+// request Accepts application/json).
 type MetricsResponse struct {
 	Engines       int                      `json:"engines"`
 	StrategyCache CacheStats               `json:"strategy_cache"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Snapshots reports the durable store's counters; nil when no
+	// SnapshotDir is configured or the store could not be opened.
+	Snapshots *snapshot.Stats `json:"snapshots,omitempty"`
+	// Degraded is true when durability is configured but not fully healthy
+	// (store unavailable, a failed persist, or quarantined snapshots).
+	Degraded bool `json:"degraded"`
 }
 
 // CacheStats reports the shared strategy registry's lookup counters.
@@ -364,6 +453,15 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if !found && s.snaps != nil {
+		// This registration took the one measurement — make it durable.
+		// Failure degrades, never fails the registration: the engine is
+		// live in memory and its budget is already spent; rejecting the
+		// tenant now would invite a retry that measures AGAIN.
+		if err := s.snaps.Save(eng.Snapshot(key, req.Queries)); err != nil {
+			log.Printf("hdmm server: persisting engine snapshot %s: %v", key, err)
+		}
 	}
 	return &RegisterResponse{
 		Key:          key,
@@ -507,11 +605,17 @@ func (s *Server) Metrics() *MetricsResponse {
 	if total := st.Hits + st.Misses; total > 0 {
 		cache.HitRatio = float64(st.Hits) / float64(total)
 	}
-	return &MetricsResponse{
+	resp := &MetricsResponse{
 		Engines:       s.pool.Len(),
 		StrategyCache: cache,
 		Endpoints:     s.met.snapshot(),
+		Degraded:      s.degraded(),
 	}
+	if s.snaps != nil {
+		st := s.snaps.Stats()
+		resp.Snapshots = &st
+	}
+	return resp
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -557,11 +661,21 @@ func (s *Server) handleEngineGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Degraded is NOT unhealthy — the daemon answers fine from memory — so
+	// the status stays "ok" (load balancers keep routing) and the flag
+	// rides alongside for operators and alerting.
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "degraded": s.degraded()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(m.prometheus())
 }
 
 // instrument wraps a handler with status recording and latency metrics.

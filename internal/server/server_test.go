@@ -84,6 +84,38 @@ func getJSON(t *testing.T, ts *httptest.Server, path string) (*http.Response, []
 	return resp, out
 }
 
+// getMetricsJSON fetches /metrics in its JSON representation (the endpoint
+// defaults to Prometheus text exposition; JSON is behind content
+// negotiation).
+func getMetricsJSON(t *testing.T, ts *httptest.Server) server.MetricsResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("metrics JSON content type = %q", ct)
+	}
+	var m server.MetricsResponse
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics JSON: %v: %s", err, raw)
+	}
+	return m
+}
+
 func register(t *testing.T, ts *httptest.Server, body any) server.RegisterResponse {
 	t.Helper()
 	resp, raw := postJSON(t, ts, "/v1/engines", body)
@@ -479,14 +511,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	postJSON(t, ts, "/v1/engines/"+r.Key+"/answer", map[string]any{"queries": []string{"I,T"}})
 	getJSON(t, ts, "/v1/engines/nope")
 
-	resp, raw = getJSON(t, ts, "/metrics")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("metrics: status %d: %s", resp.StatusCode, raw)
-	}
-	var m server.MetricsResponse
-	if err := json.Unmarshal(raw, &m); err != nil {
-		t.Fatal(err)
-	}
+	m := getMetricsJSON(t, ts)
 	if m.Engines != 2 {
 		t.Fatalf("metrics engines = %d, want 2", m.Engines)
 	}

@@ -1,0 +1,322 @@
+package snapshot
+
+import (
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsx"
+	"repro/internal/parallel"
+)
+
+// ErrSkip is returned by a Recover adopt callback to decline a snapshot
+// WITHOUT condemning it: the file stays in place for a later boot (the
+// degraded flag still latches, since configured durable state went
+// unserved). Any other adopt error quarantines the file — it is for
+// "this snapshot is wrong", ErrSkip is for "this process cannot host it
+// right now" (e.g. the engine pool shrank below the snapshot count).
+var ErrSkip = errors.New("snapshot: adoption skipped")
+
+// FileExt is the on-disk snapshot suffix; files are named by engine key.
+const FileExt = ".snap"
+
+// secretFile holds the server's key-derivation secret. Engine keys mix a
+// secret so they are unguessable bearer handles; persisting it next to the
+// snapshots is what lets a restarted server derive the SAME key for an
+// idempotent re-registration — without it, a re-POST of a recovered tenant
+// would derive a fresh key, miss the pool, and take a second measurement.
+const secretFile = "secret.key"
+
+// quarantineDir is where corrupt or rejected snapshots are moved. They are
+// never deleted (the file is the only forensic record of what went wrong
+// with budget-carrying state) and never healed by recomputation — a
+// recompute is a second measurement, i.e. a second ε-spend.
+const quarantineDir = "quarantine"
+
+const (
+	defaultRetries   = 3
+	defaultRetryBase = 5 * time.Millisecond
+)
+
+// Store is a durable snapshot directory: crash-safe writes (temp file +
+// fsync + atomic rename, with bounded retry on transient errors),
+// boot-time recovery with quarantine of anything that fails validation,
+// and counters for the daemon's metrics endpoint. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	fsys fsx.FS
+
+	// Retries and RetryBase tune the transient-error policy of Save (set
+	// before first use; tests zero RetryBase to avoid sleeping).
+	Retries   int
+	RetryBase time.Duration
+
+	writes parallel.Group[struct{}]
+
+	saved        atomic.Uint64
+	writeErrors  atomic.Uint64
+	writeRetries atomic.Uint64
+	recovered    atomic.Uint64
+	quarantined  atomic.Uint64
+	degraded     atomic.Bool
+}
+
+// Stats is a snapshot of the store's counters, exposed on /metrics.
+type Stats struct {
+	Writes       uint64 `json:"writes"`        // snapshots persisted
+	WriteErrors  uint64 `json:"write_errors"`  // saves that failed after retries
+	WriteRetries uint64 `json:"write_retries"` // transient-error retry attempts
+	Recovered    uint64 `json:"recovered"`     // engines rehydrated at boot
+	Quarantined  uint64 `json:"quarantined"`   // corrupt/rejected files set aside
+	Degraded     bool   `json:"degraded"`      // some durable state could not be persisted or loaded
+}
+
+// Open creates (or reuses) a snapshot directory. fsys selects the
+// filesystem implementation; nil selects the real OS filesystem.
+func Open(dir string, fsys fsx.FS) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("snapshot: empty store directory")
+	}
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: creating store dir: %w", err)
+	}
+	return &Store{dir: dir, fsys: fsys, Retries: defaultRetries, RetryBase: defaultRetryBase}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Writes:       s.saved.Load(),
+		WriteErrors:  s.writeErrors.Load(),
+		WriteRetries: s.writeRetries.Load(),
+		Recovered:    s.recovered.Load(),
+		Quarantined:  s.quarantined.Load(),
+		Degraded:     s.degraded.Load(),
+	}
+}
+
+// MarkDegraded latches the degraded flag (used by the server when the
+// store itself could be opened but surrounding recovery state could not).
+func (s *Store) MarkDegraded() { s.degraded.Store(true) }
+
+// Path returns the file a key is stored at.
+func (s *Store) Path(key string) string { return filepath.Join(s.dir, key+FileExt) }
+
+// validKey rejects keys that cannot serve as a filename component. Engine
+// keys are hex SHA-256 digests, so this only trips on programmer error —
+// but a traversal-capable key must fail loudly, not write outside the dir.
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("snapshot: empty key")
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("snapshot: key %q contains filesystem-unsafe character %q", key, r)
+		}
+	}
+	return nil
+}
+
+// Save persists a snapshot crash-safely under its engine key. Concurrent
+// saves of one key collapse onto a single write (snapshots are immutable
+// per key — the key hashes everything the content derives from). Transient
+// I/O errors are retried with backoff; a save that still fails latches the
+// degraded flag, because the engine now exists only in memory.
+func (s *Store) Save(sn *Snapshot) error {
+	if err := validKey(sn.Key); err != nil {
+		s.writeErrors.Add(1)
+		s.degraded.Store(true)
+		return err
+	}
+	blob, err := Encode(sn)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.degraded.Store(true)
+		return err
+	}
+	_, leader, err := s.writes.Do(sn.Key, nil, nil, func() (struct{}, error) {
+		return struct{}{}, fsx.Retry(s.Retries, s.RetryBase, func() error {
+			return fsx.WriteAtomic(s.fsys, s.Path(sn.Key), blob)
+		}, func(int, error) { s.writeRetries.Add(1) })
+	}, nil)
+	if err != nil {
+		if leader {
+			s.writeErrors.Add(1)
+			s.degraded.Store(true)
+		}
+		return fmt.Errorf("snapshot: persisting %s: %w", sn.Key, err)
+	}
+	if leader {
+		s.saved.Add(1)
+	}
+	return nil
+}
+
+// Load reads and decodes one snapshot by key (no quarantine on failure —
+// that policy belongs to Recover, which owns the boot scan).
+func (s *Store) Load(key string) (*Snapshot, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	blob, err := s.fsys.ReadFile(s.Path(key))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading %s: %w", s.Path(key), err)
+	}
+	return Decode(blob)
+}
+
+// Recover scans the store and rehydrates every snapshot through adopt.
+// A file that fails to read, decode, or be adopted is quarantined — moved
+// aside, never deleted, never "healed" by recomputing (a recompute would
+// take a second measurement and silently double the spent budget) — and
+// recovery continues with the rest. Temp-file debris from writes cut off
+// by a crash is recognized and swept. Only an unreadable directory aborts
+// the scan; per-file failures latch the degraded flag instead.
+func (s *Store) Recover(adopt func(*Snapshot) error) (int, error) {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		s.degraded.Store(true)
+		return 0, fmt.Errorf("snapshot: scanning store: %w", err)
+	}
+	n := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || name == secretFile {
+			continue
+		}
+		if fsx.IsTempName(name) {
+			// A write the crash interrupted before its rename: the
+			// completed previous generation (if any) is the real file, so
+			// the torn temp is pure debris. Best-effort sweep.
+			_ = s.fsys.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, FileExt) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		blob, err := s.fsys.ReadFile(path)
+		if err != nil {
+			s.quarantine(name)
+			continue
+		}
+		sn, err := Decode(blob)
+		if err != nil {
+			s.quarantine(name)
+			continue
+		}
+		if sn.Key+FileExt != name {
+			// A renamed or cross-copied file: its content is internally
+			// consistent but it does not answer for the key its name
+			// claims. Serving it would alias one tenant's answers under
+			// another's handle.
+			s.quarantine(name)
+			continue
+		}
+		if err := adopt(sn); errors.Is(err, ErrSkip) {
+			s.degraded.Store(true)
+			continue
+		} else if err != nil {
+			s.quarantine(name)
+			continue
+		}
+		s.recovered.Add(1)
+		n++
+	}
+	return n, nil
+}
+
+// quarantine moves a failed snapshot into the quarantine subdirectory and
+// latches the degraded flag. The file is preserved byte-for-byte: it is
+// the only forensic record of what corrupted budget-carrying state.
+func (s *Store) quarantine(name string) {
+	s.degraded.Store(true)
+	s.quarantined.Add(1)
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return // the corrupt file stays in place; it will be skipped again next boot
+	}
+	_ = s.fsys.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name))
+}
+
+// LoadOrCreateSecret returns the store's 32-byte key-derivation secret,
+// creating it on first use. See secretFile for why it must persist.
+func (s *Store) LoadOrCreateSecret() ([32]byte, error) {
+	var secret [32]byte
+	path := filepath.Join(s.dir, secretFile)
+	if b, err := s.fsys.ReadFile(path); err == nil {
+		if len(b) != len(secret) {
+			return secret, fmt.Errorf("snapshot: secret file %s holds %d bytes, want %d", path, len(b), len(secret))
+		}
+		copy(secret[:], b)
+		return secret, nil
+	}
+	if _, err := crand.Read(secret[:]); err != nil {
+		return secret, fmt.Errorf("snapshot: reading entropy for secret: %w", err)
+	}
+	if err := fsx.WriteAtomic(s.fsys, path, secret[:]); err != nil {
+		return secret, fmt.Errorf("snapshot: persisting secret: %w", err)
+	}
+	return secret, nil
+}
+
+// Entry is one file of a read-only store listing.
+type Entry struct {
+	File     string    // file name within the directory
+	Size     int64     // size in bytes
+	Snapshot *Snapshot // decoded content, nil when Err != nil
+	Err      error     // why the file failed verification
+}
+
+// List reads every snapshot in dir without adopting, quarantining, or
+// otherwise mutating anything — the `hdmm snapshots` inspection path must
+// be safe to run against a live daemon's store.
+func List(dir string) ([]Entry, error) {
+	fsys := fsx.OS{}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: scanning %s: %w", dir, err)
+	}
+	var out []Entry
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || name == secretFile || fsx.IsTempName(name) || !strings.HasSuffix(name, FileExt) {
+			continue
+		}
+		e := Entry{File: name}
+		if info, err := ent.Info(); err == nil {
+			e.Size = info.Size()
+		}
+		blob, err := fsys.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			e.Err = err
+			out = append(out, e)
+			continue
+		}
+		sn, err := Decode(blob)
+		if err != nil {
+			e.Err = err
+			out = append(out, e)
+			continue
+		}
+		if sn.Key+FileExt != name {
+			e.Err = fmt.Errorf("snapshot: file name does not match embedded key %s", sn.Key)
+		}
+		e.Snapshot = sn
+		out = append(out, e)
+	}
+	return out, nil
+}
