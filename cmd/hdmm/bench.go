@@ -176,6 +176,37 @@ func benchCases(workers int) ([]benchCase, error) {
 		}
 	}})
 
+	// Batched union reconstruction: 16 measurement vectors through one
+	// multi-RHS LSMR solve (wide GEMMs instead of 16 sequential matvec
+	// chains).
+	const uk = 16
+	uys := make([][]float64, uk)
+	for i := range uys {
+		uys[i] = randSlice(rng, urows)
+	}
+	if _, err := us.ReconstructBatch(uys); err != nil {
+		return nil, err
+	}
+	cases = append(cases, benchCase{fmt.Sprintf("reconstruct/union-batch%d", uk), int64(8 * uk * (urows + ucols)), func() {
+		if _, err := us.ReconstructBatch(uys); err != nil {
+			panic(err)
+		}
+	}})
+
+	// Warm-started union reconstruction: the serving regime, where
+	// successive measurements are close and each solve seeds from the last
+	// solution. The reconstructor is warmed once untimed; every measured
+	// solve then runs warm.
+	urec := us.NewReconstructor()
+	if _, err := urec.Reconstruct(uy); err != nil {
+		return nil, err
+	}
+	cases = append(cases, benchCase{"reconstruct/union-warm", int64(8 * (urows + ucols)), func() {
+		if _, err := urec.Reconstruct(uy); err != nil {
+			panic(err)
+		}
+	}})
+
 	// --- Serving: a 512-query batch drawn from 4 shared specs. ---
 	dom := hdmm.NewDomain(hdmm.Attribute{Name: "a", Size: 2}, hdmm.Attribute{Name: "b", Size: 64})
 	we, err := hdmm.NewWorkload(dom, hdmm.NewProduct(hdmm.Identity(2), hdmm.AllRange(64)))
@@ -277,11 +308,13 @@ func parseWorkerSet(spec string) ([]int, error) {
 func cmdBench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	out := fs.String("out", "BENCH_5.json", "output path for the JSON results")
+	out := fs.String("out", "BENCH_7.json", "output path for the JSON results")
 	targetMS := fs.Int("benchtime", 250, "minimum milliseconds of measurement per op")
 	workersSpec := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,4 and GOMAXPROCS, deduplicated)")
+	baseline := fs.String("baseline", "", "baseline JSON results to compare against (from an earlier -out)")
+	assertImproves := fs.String("assert-improves", "", "fail unless this op's best MB/s beats the -baseline file's (regression gate for CI)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hdmm bench [-out FILE] [-benchtime MS] [-workers 1,4,8]")
+		fmt.Fprintln(stderr, "usage: hdmm bench [-out FILE] [-benchtime MS] [-workers 1,4,8] [-baseline FILE -assert-improves OP]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -292,6 +325,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	}
 	if fs.NArg() != 0 {
 		return usageError("bench takes no positional arguments")
+	}
+	if (*assertImproves == "") != (*baseline == "") {
+		return usageError("-baseline and -assert-improves go together")
 	}
 
 	workerSet, err := parseWorkerSet(*workersSpec)
@@ -324,12 +360,61 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	}
 	blob = append(blob, '\n')
 	if *out == "-" {
-		_, err = stdout.Write(blob)
-		return err
+		if _, err := stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(results))
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		return err
+	if *assertImproves != "" {
+		return assertOpImproves(*baseline, *assertImproves, results, stdout)
 	}
-	fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(results))
+	return nil
+}
+
+// bestMBPerS returns the best throughput recorded for op across worker
+// counts, and whether the op appears at all.
+func bestMBPerS(results []benchResult, op string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range results {
+		if r.Op != op {
+			continue
+		}
+		found = true
+		if r.MBPerS > best {
+			best = r.MBPerS
+		}
+	}
+	return best, found
+}
+
+// assertOpImproves is the CI regression gate: the current run's best MB/s
+// for op must strictly beat the baseline file's. Comparing best-across-
+// workers on both sides keeps the gate insensitive to which worker counts
+// each run swept.
+func assertOpImproves(baselinePath, op string, results []benchResult, stdout io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	var base []benchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+	was, ok := bestMBPerS(base, op)
+	if !ok {
+		return fmt.Errorf("bench: baseline %s has no %q rows", baselinePath, op)
+	}
+	now, ok := bestMBPerS(results, op)
+	if !ok {
+		return fmt.Errorf("bench: this run produced no %q rows", op)
+	}
+	if now <= was {
+		return fmt.Errorf("bench: %s regressed: %.2f MB/s vs baseline %.2f MB/s", op, now, was)
+	}
+	fmt.Fprintf(stdout, "%s improved: %.2f MB/s vs baseline %.2f MB/s (%.1fx)\n", op, now, was, now/was)
 	return nil
 }

@@ -28,8 +28,9 @@ func TestCmdBench(t *testing.T) {
 	}
 	want := map[string]bool{
 		"kron/matvec": false, "kron/mattvec": false, "kron/matmul16": false,
-		"reconstruct/kron": false, "reconstruct/union": false, "serve/answer512": false,
-		"snapshot/roundtrip": false,
+		"reconstruct/kron": false, "reconstruct/union": false,
+		"reconstruct/union-batch16": false, "reconstruct/union-warm": false,
+		"serve/answer512": false, "snapshot/roundtrip": false,
 	}
 	workerRows := map[int]int{}
 	for _, r := range results {
@@ -79,6 +80,42 @@ func TestParseWorkerSet(t *testing.T) {
 			t.Fatalf("default sweep has duplicate %d: %v", w, def)
 		}
 		seen[w] = true
+	}
+}
+
+// TestAssertImproves covers the CI regression gate: a run must beat the
+// baseline's best MB/s for the asserted op, and a baseline it cannot beat
+// (or that lacks the op) is an error.
+func TestAssertImproves(t *testing.T) {
+	results := []benchResult{
+		{Op: "reconstruct/union", Workers: 1, MBPerS: 50},
+		{Op: "reconstruct/union", Workers: 2, MBPerS: 70},
+	}
+	writeBaseline := func(rows []benchResult) string {
+		blob, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(p, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var out bytes.Buffer
+	slow := writeBaseline([]benchResult{{Op: "reconstruct/union", Workers: 1, MBPerS: 1.3}})
+	if err := assertOpImproves(slow, "reconstruct/union", results, &out); err != nil {
+		t.Fatalf("faster run rejected: %v", err)
+	}
+	fast := writeBaseline([]benchResult{{Op: "reconstruct/union", Workers: 1, MBPerS: 500}})
+	if err := assertOpImproves(fast, "reconstruct/union", results, &out); err == nil {
+		t.Fatal("regressed run accepted")
+	}
+	if err := assertOpImproves(slow, "no/such-op", results, &out); err == nil {
+		t.Fatal("missing op accepted")
+	}
+	if err := assertOpImproves(filepath.Join(t.TempDir(), "missing.json"), "reconstruct/union", results, &out); err == nil {
+		t.Fatal("unreadable baseline accepted")
 	}
 }
 

@@ -188,6 +188,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	httpAddr := wf.fs.String("http", "", "run the HTTP answer-serving daemon on this address (e.g. :8080)")
 	drain := wf.fs.Duration("drain", 30*time.Second, "how long the daemon waits for in-flight requests on shutdown")
 	snapDir := wf.fs.String("snapshot-dir", "", "durable engine-snapshot directory: a restarted daemon recovers its engines without re-measuring")
+	solveMaxIter := wf.fs.Int("solve-max-iter", 0, "cap on LSMR iterations for union-strategy reconstruction (0 = solver default); a registration whose solve hits the cap fails instead of serving unconverged answers")
 	wf.fs.SetOutput(stderr)
 	if err := wf.fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -197,15 +198,16 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	}
 	if *httpAddr != "" {
 		cfg := daemonConfig{
-			cache:    *cache,
-			snapDir:  *snapDir,
-			eps:      *eps,
-			delta:    *delta,
-			seed:     *seed,
-			restarts: *restarts,
-			optseed:  *optseed,
-			workers:  *workers,
-			drain:    *drain,
+			cache:        *cache,
+			snapDir:      *snapDir,
+			eps:          *eps,
+			delta:        *delta,
+			seed:         *seed,
+			restarts:     *restarts,
+			optseed:      *optseed,
+			workers:      *workers,
+			drain:        *drain,
+			solveMaxIter: *solveMaxIter,
 		}
 		if *queryFile != "" {
 			return usageError("-queries applies to one-shot serve; the HTTP daemon answers query batches per request")
@@ -255,7 +257,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	var daemonOnly []string
 	wf.fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "drain", "snapshot-dir":
+		case "drain", "snapshot-dir", "solve-max-iter":
 			daemonOnly = append(daemonOnly, "-"+f.Name)
 		}
 	})
@@ -314,18 +316,19 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 // daemonConfig carries the serve flags into the HTTP daemon, plus the
 // optional workload to pre-register at startup.
 type daemonConfig struct {
-	cache    string
-	snapDir  string // durable engine-snapshot directory ("" = no durability)
-	eps      float64
-	delta    float64
-	seed     uint64
-	restarts int
-	optseed  uint64
-	workers  int
-	drain    time.Duration // shutdown grace for in-flight requests
-	domain   string        // pre-registration workload ("" = none)
-	queries  []string      // pre-registration product specs
-	dataPath string        // pre-registration dataset
+	cache        string
+	snapDir      string // durable engine-snapshot directory ("" = no durability)
+	eps          float64
+	delta        float64
+	seed         uint64
+	restarts     int
+	optseed      uint64
+	workers      int
+	drain        time.Duration // shutdown grace for in-flight requests
+	solveMaxIter int           // union-reconstruction LSMR iteration cap (0 = default)
+	domain       string        // pre-registration workload ("" = none)
+	queries      []string      // pre-registration product specs
+	dataPath     string        // pre-registration dataset
 }
 
 // serveDaemon runs the HTTP answer-serving daemon on addr until ctx is
@@ -334,7 +337,7 @@ type daemonConfig struct {
 // after every startup message has been written (tests listen on :0).
 func serveDaemon(ctx context.Context, addr string, cfg daemonConfig, stdout, stderr io.Writer, onReady func(string)) error {
 	hdmm.SetWorkers(cfg.workers)
-	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, SnapshotDir: cfg.snapDir, Workers: cfg.workers})
+	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, SnapshotDir: cfg.snapDir, Workers: cfg.workers, SolveMaxIter: cfg.solveMaxIter})
 	if err != nil {
 		return err
 	}

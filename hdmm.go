@@ -117,6 +117,12 @@ var (
 // Strategy is a selected measurement strategy.
 type Strategy = core.Strategy
 
+// ErrNotConverged is returned (wrapped) when an iterative union-strategy
+// reconstruction stops on its iteration budget instead of converging. The
+// pipeline never silently serves an unconverged estimate: Run, NewEngine,
+// and the HTTP daemon all surface this error. Test with errors.Is.
+var ErrNotConverged = core.ErrNotConverged
+
 // SelectOptions controls strategy selection (Algorithm 2). The zero value
 // uses sensible defaults (5 restarts, all operators enabled, and Workers =
 // runtime.GOMAXPROCS(0) — restarts, block subproblems and large matrix

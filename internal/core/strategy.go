@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -11,6 +12,24 @@ import (
 	"repro/internal/mat"
 	"repro/internal/workload"
 )
+
+// ErrNotConverged reports that the iterative least-squares solve behind a
+// union reconstruction exhausted its iteration budget before any
+// convergence test fired. The returned estimate is the best iterate, not a
+// converged solution — serving layers must surface the failure instead of
+// answering from it.
+var ErrNotConverged = errors.New("union reconstruction did not converge")
+
+// SolveInfo reports how a union reconstruction's LSMR solve went — exported
+// by the serving engine and the HTTP daemon's /metrics so operators can see
+// iteration counts and residuals instead of inferring them from latency.
+type SolveInfo struct {
+	Iters          int     // LSMR iterations performed
+	Resid          float64 // final ‖y − A·x̂‖ estimate (of the solved system)
+	Stopped        string  // lsmr stopping reason
+	Preconditioned bool    // the per-factor eigendecomposition preconditioner was applied
+	Warm           bool    // the solve started from a cached previous solution
+}
 
 // Strategy is a measurement strategy selected by one of the HDMM operators.
 // Every strategy is normalized to sensitivity 1, so the Laplace mechanism
@@ -195,6 +214,18 @@ type UnionStrategy struct {
 
 	opOnce sync.Once
 	op     *kron.Stack // cached scaled stack, guarded by opOnce
+
+	pcOnce  sync.Once
+	pcStack kron.Linear // preconditioned operator A·M, guarded by pcOnce
+	pcM     pcApplier   // right preconditioner M (x = M·z); nil when unavailable
+}
+
+// pcApplier is what a preconditioner must support: workspace-drawing
+// single-vector application (un-preconditioning one solution) and the
+// multi-RHS batch path (un-preconditioning a whole SolveBatch at once).
+type pcApplier interface {
+	kron.WorkspaceApplier
+	kron.MultiApplier
 }
 
 // Name implements Strategy.
@@ -237,9 +268,12 @@ func (s *UnionStrategy) Error(w *workload.Workload) (float64, error) {
 
 // Reconstruct solves the joint least-squares problem over the full stacked
 // strategy with LSMR (Section 7.2: no closed-form pseudo-inverse exists for
-// unions of Kronecker products).
+// unions of Kronecker products). The solve runs right-preconditioned from
+// the per-factor eigendecompositions (see precond) and returns a non-nil
+// error wrapping ErrNotConverged — alongside the best iterate — when the
+// iteration budget binds before convergence.
 func (s *UnionStrategy) Reconstruct(y []float64) ([]float64, error) {
-	return s.ReconstructWS(y, nil)
+	return s.ReconstructOpt(y, ReconstructOptions{})
 }
 
 // ReconstructWS is Reconstruct with an explicit workspace: callers that
@@ -248,10 +282,374 @@ func (s *UnionStrategy) Reconstruct(y []float64) ([]float64, error) {
 // whole solve O(1) in allocations regardless of iteration count. nil
 // borrows a pooled workspace.
 func (s *UnionStrategy) ReconstructWS(y []float64, ws *kron.Workspace) ([]float64, error) {
-	op := s.Operator()
-	res := lsmr.Solve(op, y, lsmr.Options{Workspace: ws})
-	return res.X, nil
+	return s.ReconstructOpt(y, ReconstructOptions{Workspace: ws})
 }
+
+// ReconstructOptions tunes a union reconstruction. The zero value is the
+// default solve: preconditioned, cold-started, solver-default iteration
+// budget.
+type ReconstructOptions struct {
+	// Workspace is reused across the solve's operator applications; nil
+	// borrows a pooled one.
+	Workspace *kron.Workspace
+	// Warm seeds the solve with a previous solution (length = domain size):
+	// the solver runs on the residual y − A·warm and only the delta costs
+	// iterations. Serving engines that reconstruct the same strategy
+	// repeatedly pass their previous x̂ (see UnionReconstructor).
+	Warm []float64
+	// MaxIter caps the LSMR iterations (0 = solver default, 4·cols).
+	MaxIter int
+	// NoPrecond disables the eigendecomposition preconditioner — the
+	// reference solve the preconditioned path is pinned against in tests.
+	NoPrecond bool
+	// Info, when non-nil, receives the solve diagnostics.
+	Info *SolveInfo
+}
+
+// precond builds (once) the right-preconditioned operator pair: the
+// preconditioned operator A·M whose Kronecker part folds INTO the stack
+// factors — so a preconditioned LSMR iteration costs what a plain one does
+// — and the preconditioner M itself for mapping z back to x = M·z.
+//
+// Two constructions, best first:
+//
+//   - Two-part unions (the common OPT⁺ output shape): per factor i, the
+//     pencil (G_{1,i}, G_{2,i}) of the blocks' Grams is simultaneously
+//     diagonalized — Vᵢᵀ·G_{1,i}·Vᵢ = I, Vᵢᵀ·G_{2,i}·Vᵢ = Λᵢ — which makes
+//     (⊗Vᵢ)ᵀ·AᵀA·(⊗Vᵢ) = β₁²·I + β₂²·⊗Λᵢ exactly DIAGONAL. With the
+//     residual diagonal scaled out (M = (⊗Vᵢ)·D^{-1/2}, a kron.ColScaled),
+//     the preconditioned operator has exactly orthonormal columns and LSMR
+//     converges in a handful of iterations regardless of conditioning.
+//
+//   - General unions: M = ⊗Fᵢ with Fᵢ = Hᵢ^{-1/2}, Hᵢ = Σ_g (β_g²)^{1/d}·
+//     G_{g,i}. ⊗Hᵢ ⪰ AᵀA in the PSD order (the Kronecker product of the
+//     share-weighted Gram sums majorizes the sum of share-weighted Gram
+//     products), so the preconditioned spectrum lies in (0,1] and the
+//     iteration count drops by the cross-term looseness of the majorizer.
+//
+// Returns (nil, nil) — plain solve — when the parts are heterogeneous or a
+// Gram is numerically rank-deficient.
+func (s *UnionStrategy) precond() (kron.Linear, pcApplier) {
+	s.pcOnce.Do(func() {
+		d := len(s.Parts[0].Subs)
+		for _, p := range s.Parts {
+			if len(p.Subs) != d {
+				return
+			}
+			for i, sub := range p.Subs {
+				if sub.N() != s.Parts[0].Subs[i].N() {
+					return
+				}
+			}
+		}
+		if len(s.Parts) == 2 {
+			if st, m, ok := s.pencilPrecond(d); ok {
+				s.pcStack, s.pcM = st, m
+				return
+			}
+		}
+		factors := make([]*mat.Dense, d)
+		for i := 0; i < d; i++ {
+			n := s.Parts[0].Subs[i].N()
+			h := mat.NewDense(n, n)
+			for g, p := range s.Parts {
+				gram := mat.Gram(nil, p.Subs[i].Matrix())
+				w := math.Pow(s.Shares[g]*s.Shares[g], 1/float64(d))
+				hd, gd := h.Data(), gram.Data()
+				for idx := range hd {
+					hd[idx] += w * gd[idx]
+				}
+			}
+			f, ok := invSqrtSPD(h)
+			if !ok {
+				return
+			}
+			factors[i] = f
+		}
+		blocks := make([]kron.Linear, len(s.Parts))
+		for g, p := range s.Parts {
+			bf := make([]*mat.Dense, d)
+			for i, sub := range p.Subs {
+				bf[i] = mat.Mul(nil, sub.Matrix(), factors[i])
+			}
+			blocks[g] = kron.NewProduct(bf...)
+		}
+		s.pcStack = kron.NewStack(blocks, s.Shares)
+		s.pcM = kron.NewProduct(factors...)
+	})
+	return s.pcStack, s.pcM
+}
+
+// pencilPrecond is the exact two-block preconditioner: per factor it whitens
+// block 1's Gram and eigendecomposes block 2's Gram in the whitened basis
+// (the symmetric form of the generalized eigenproblem G₂·v = λ·G₁·v), then
+// scales out the remaining diagonal β₁² + β₂²·⊗Λᵢ over the full domain.
+func (s *UnionStrategy) pencilPrecond(d int) (kron.Linear, pcApplier, bool) {
+	b1 := s.Shares[0] * s.Shares[0]
+	b2 := s.Shares[1] * s.Shares[1]
+	if !(b1 > 0) || !(b2 > 0) {
+		return nil, nil, false
+	}
+	vs := make([]*mat.Dense, d)
+	lamKron := []float64{1}
+	for i := 0; i < d; i++ {
+		g1 := mat.Gram(nil, s.Parts[0].Subs[i].Matrix())
+		g2 := mat.Gram(nil, s.Parts[1].Subs[i].Matrix())
+		w1, ok := invSqrtSPD(g1)
+		if !ok {
+			return nil, nil, false
+		}
+		c := mat.Mul(nil, mat.Mul(nil, w1, g2), w1)
+		symmetrize(c)
+		lam, q, err := mat.SymEigen(c)
+		if err != nil {
+			return nil, nil, false
+		}
+		vs[i] = mat.Mul(nil, w1, q)
+		// Λᵢ is PSD up to rounding; clamp so D stays ≥ β₁² > 0.
+		next := make([]float64, len(lamKron)*len(lam))
+		for a, la := range lamKron {
+			for b, lb := range lam {
+				if lb < 0 {
+					lb = 0
+				}
+				next[a*len(lam)+b] = la * lb
+			}
+		}
+		lamKron = next
+	}
+	scale := lamKron
+	for j, v := range scale {
+		scale[j] = 1 / math.Sqrt(b1+b2*v)
+	}
+	blocks := make([]kron.Linear, 2)
+	for g, p := range s.Parts {
+		bf := make([]*mat.Dense, d)
+		for i, sub := range p.Subs {
+			bf[i] = mat.Mul(nil, sub.Matrix(), vs[i])
+		}
+		blocks[g] = kron.NewProduct(bf...)
+	}
+	st := kron.NewColScaled(kron.NewStack(blocks, s.Shares), scale)
+	m := kron.NewColScaled(kron.NewProduct(vs...), scale)
+	return st, m, true
+}
+
+// symmetrize averages a nearly-symmetric matrix with its transpose in
+// place, guarding the symmetric eigensolver against rounding asymmetry.
+func symmetrize(m *mat.Dense) {
+	n, _ := m.Dims()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// invSqrtSPD returns H^{-1/2} = Q·Λ^{-1/2}·Qᵀ for a symmetric positive
+// definite H, or ok=false when H is numerically rank-deficient (the caller
+// falls back to the unpreconditioned solve).
+func invSqrtSPD(h *mat.Dense) (*mat.Dense, bool) {
+	vals, q, err := mat.SymEigen(h)
+	if err != nil {
+		return nil, false
+	}
+	n := len(vals)
+	lmax := vals[n-1] // ascending order
+	if !(lmax > 0) {
+		return nil, false
+	}
+	const ratio = 1e-10
+	scaled := mat.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		if vals[j] <= ratio*lmax {
+			return nil, false
+		}
+		inv := 1 / math.Sqrt(vals[j])
+		for i := 0; i < n; i++ {
+			scaled.Set(i, j, q.At(i, j)*inv)
+		}
+	}
+	return mat.MulNT(nil, scaled, q), true
+}
+
+// notConvergedErr formats the non-convergence failure for one solve.
+func (s *UnionStrategy) notConvergedErr(res lsmr.Result) error {
+	return fmt.Errorf("core: %w: %s solve stopped at its %d-iteration budget with residual estimate %.6g; raise the iteration budget or serve degraded explicitly",
+		ErrNotConverged, s.Name(), res.Iters, res.Resid)
+}
+
+// ReconstructOpt is the full-control union reconstruction: preconditioning
+// (default on), warm-starting, iteration caps, and solve diagnostics. On a
+// converged solve it returns (x̂, nil); when the iteration budget binds it
+// returns the best iterate together with an error wrapping ErrNotConverged,
+// so callers can choose between failing hard (the serving path) and
+// explicitly accepting a degraded estimate. For a fixed configuration the
+// result is bit-identical at any worker count.
+func (s *UnionStrategy) ReconstructOpt(y []float64, opts ReconstructOptions) ([]float64, error) {
+	s.Operator()
+	op := s.op
+	rows, cols := op.Dims()
+	if len(y) != rows {
+		return nil, fmt.Errorf("core: measurement has length %d, union strategy has %d rows", len(y), rows)
+	}
+	ws := opts.Workspace
+	if ws == nil {
+		ws = kron.GetWorkspace()
+		defer kron.PutWorkspace(ws)
+	}
+
+	solveOp := kron.Linear(op)
+	var pcM pcApplier
+	if !opts.NoPrecond {
+		if pcStack, m := s.precond(); pcStack != nil {
+			solveOp, pcM = pcStack, m
+		}
+	}
+
+	rhs := y
+	if opts.Warm != nil {
+		if len(opts.Warm) != cols {
+			return nil, fmt.Errorf("core: warm start has length %d, domain size is %d", len(opts.Warm), cols)
+		}
+		// The residual is preconditioner-independent: compute it on the
+		// original operator, solve the (possibly preconditioned) delta
+		// system, add the warm point back after un-preconditioning.
+		r0 := make([]float64, rows)
+		op.MatVecTo(r0, opts.Warm, ws)
+		for i, v := range y {
+			r0[i] = v - r0[i]
+		}
+		rhs = r0
+	}
+
+	res := lsmr.Solve(solveOp, rhs, lsmr.Options{MaxIter: opts.MaxIter, Workspace: ws})
+	x := res.X
+	if pcM != nil {
+		z := x
+		x = make([]float64, cols)
+		pcM.MatVecTo(x, z, ws)
+	}
+	if opts.Warm != nil {
+		for i, v := range opts.Warm {
+			x[i] += v
+		}
+	}
+	if opts.Info != nil {
+		*opts.Info = SolveInfo{
+			Iters:          res.Iters,
+			Resid:          res.Resid,
+			Stopped:        res.Stopped,
+			Preconditioned: pcM != nil,
+			Warm:           opts.Warm != nil,
+		}
+	}
+	if res.Stopped == lsmr.StoppedMaxIter {
+		return x, s.notConvergedErr(res)
+	}
+	return x, nil
+}
+
+// ReconstructBatch reconstructs k measurement vectors of the union strategy
+// in one multi-RHS LSMR solve: the k bidiagonalization sweeps ride through
+// the stack as batched GEMMs (kron.MultiApplier), so k Monte-Carlo trials
+// cost one wide solve instead of k thin ones. Result j is bit-identical to
+// Reconstruct(ys[j]). When any system fails to converge the full result
+// set is returned together with the first failure's error (wrapping
+// ErrNotConverged).
+func (s *UnionStrategy) ReconstructBatch(ys [][]float64) ([][]float64, error) {
+	if len(ys) == 0 {
+		return nil, nil
+	}
+	s.Operator()
+	op := s.op
+	rows, cols := op.Dims()
+	for j, y := range ys {
+		if len(y) != rows {
+			return nil, fmt.Errorf("core: measurement %d has length %d, union strategy has %d rows", j, len(y), rows)
+		}
+	}
+	solveOp := kron.Linear(op)
+	var pcM pcApplier
+	if pcStack, m := s.precond(); pcStack != nil {
+		solveOp, pcM = pcStack, m
+	}
+	ws := kron.GetWorkspace()
+	defer kron.PutWorkspace(ws)
+
+	results := lsmr.SolveBatch(solveOp, ys, lsmr.Options{Workspace: ws})
+	out := make([][]float64, len(ys))
+	if pcM != nil {
+		// Un-precondition the whole batch in one multi-RHS pass; row j is
+		// bit-identical to MatVecTo on solution j alone.
+		k := len(ys)
+		zs := make([]float64, k*cols)
+		for j, r := range results {
+			copy(zs[j*cols:(j+1)*cols], r.X)
+		}
+		xs := make([]float64, k*cols)
+		pcM.MatMulTo(xs, zs, k, ws)
+		for j := range out {
+			out[j] = xs[j*cols : (j+1)*cols : (j+1)*cols]
+		}
+	} else {
+		for j, r := range results {
+			out[j] = r.X
+		}
+	}
+	var firstErr error
+	for _, r := range results {
+		if r.Stopped == lsmr.StoppedMaxIter {
+			firstErr = s.notConvergedErr(r)
+			break
+		}
+	}
+	return out, firstErr
+}
+
+// UnionReconstructor performs repeated reconstructions of one union
+// strategy with a private workspace and warm-starting: each solve seeds
+// from the previous solution, so a serving engine re-reconstructing under
+// a refreshed measurement pays only for the delta. The reconstructor — not
+// the shared strategy — owns the warm-start state, so strategies cached in
+// the registry and shared across tenants never leak one tenant's estimate
+// into another's solve. Not safe for concurrent use.
+type UnionReconstructor struct {
+	s       *UnionStrategy
+	ws      *kron.Workspace
+	prev    []float64
+	info    SolveInfo
+	maxIter int
+}
+
+// NewReconstructor returns a warm-starting reconstructor for the strategy.
+func (s *UnionStrategy) NewReconstructor() *UnionReconstructor {
+	return &UnionReconstructor{s: s, ws: kron.NewWorkspace()}
+}
+
+// SetMaxIter caps each solve's LSMR iterations (0 = solver default).
+func (r *UnionReconstructor) SetMaxIter(n int) { r.maxIter = n }
+
+// Reconstruct solves for y, warm-started from the previous successful
+// solution. A non-converged solve returns its error and does not poison
+// the warm-start state.
+func (r *UnionReconstructor) Reconstruct(y []float64) ([]float64, error) {
+	x, err := r.s.ReconstructOpt(y, ReconstructOptions{
+		Workspace: r.ws,
+		Warm:      r.prev,
+		MaxIter:   r.maxIter,
+		Info:      &r.info,
+	})
+	if err == nil {
+		r.prev = x
+	}
+	return x, err
+}
+
+// Info reports the diagnostics of the most recent solve.
+func (r *UnionReconstructor) Info() SolveInfo { return r.info }
 
 // OptimalShares returns budget shares βg ∝ Err_g^{1/3}, which minimize
 // Σ Err_g/βg² subject to Σβg = 1 (Lagrange conditions).

@@ -1,0 +1,194 @@
+package kron
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// opaque hides an operator's MultiApplier implementation so the batch
+// methods' per-vector fallback path is exercised.
+type opaque struct{ Linear }
+
+// TestProductMatTMulToBitIdentical pins the MultiApplier contract on the
+// transpose batch path: row v of MatTMulTo equals MatTVecTo on vector v
+// alone, bit for bit, at any worker count.
+func TestProductMatTMulToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	p := NewProduct(randMat(rng, 6, 5), randMat(rng, 4, 7), randMat(rng, 3, 2))
+	rows, cols := p.Dims()
+	const k = 5
+	ys := randVec(rng, k*rows)
+	for _, workers := range []int{1, 4, 8} {
+		prev := SetWorkers(workers)
+		dst := make([]float64, k*cols)
+		p.MatTMulTo(dst, ys, k, nil)
+		for v := 0; v < k; v++ {
+			single := make([]float64, cols)
+			p.MatTVecTo(single, ys[v*rows:(v+1)*rows], nil)
+			for j := range single {
+				if dst[v*cols+j] != single[j] {
+					t.Fatalf("workers=%d: MatTMulTo row %d elem %d = %v, MatTVecTo = %v",
+						workers, v, j, dst[v*cols+j], single[j])
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestStackBatchBitIdentical pins the Stack batch paths — forward and
+// transpose — against their single-vector counterparts, both with blocks
+// that expose MultiApplier (Products) and with opaque blocks that force the
+// per-vector fallback.
+func TestStackBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	a := NewProduct(randMat(rng, 4, 5), randMat(rng, 3, 4))
+	b := NewProduct(randMat(rng, 2, 5), randMat(rng, 5, 4))
+	for _, tc := range []struct {
+		name   string
+		blocks []Linear
+	}{
+		{"multi", []Linear{a, b}},
+		{"fallback", []Linear{opaque{a}, opaque{b}}},
+	} {
+		s := NewStack(tc.blocks, []float64{0.75, 0.25})
+		rows, cols := s.Dims()
+		const k = 4
+		xs := randVec(rng, k*cols)
+		ys := randVec(rng, k*rows)
+		for _, workers := range []int{1, 4, 8} {
+			prev := SetWorkers(workers)
+			fwd := make([]float64, k*rows)
+			s.MatMulTo(fwd, xs, k, nil)
+			bwd := make([]float64, k*cols)
+			s.MatTMulTo(bwd, ys, k, nil)
+			for v := 0; v < k; v++ {
+				sf := make([]float64, rows)
+				s.MatVecTo(sf, xs[v*cols:(v+1)*cols], nil)
+				sb := make([]float64, cols)
+				s.MatTVecTo(sb, ys[v*rows:(v+1)*rows], nil)
+				for j := range sf {
+					if fwd[v*rows+j] != sf[j] {
+						t.Fatalf("%s workers=%d: MatMulTo row %d elem %d = %v, MatVecTo = %v",
+							tc.name, workers, v, j, fwd[v*rows+j], sf[j])
+					}
+				}
+				for j := range sb {
+					if bwd[v*cols+j] != sb[j] {
+						t.Fatalf("%s workers=%d: MatTMulTo row %d elem %d = %v, MatTVecTo = %v",
+							tc.name, workers, v, j, bwd[v*cols+j], sb[j])
+					}
+				}
+			}
+			SetWorkers(prev)
+		}
+	}
+}
+
+// TestStackBatchMatchesExplicit checks the batch paths against the
+// materialized stack, so a bug that breaks both the batched and the
+// single-vector path identically cannot hide behind the bit-identity test.
+func TestStackBatchMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	a := NewProduct(randMat(rng, 3, 4), randMat(rng, 2, 3))
+	b := NewProduct(randMat(rng, 4, 4), randMat(rng, 1, 3))
+	s := NewStack([]Linear{a, b}, []float64{2, 0.5})
+	ex := mat.VStack(a.Explicit().Scale(2), b.Explicit().Scale(0.5))
+	rows, cols := s.Dims()
+	const k = 3
+	xs := randVec(rng, k*cols)
+	ys := randVec(rng, k*rows)
+	fwd := make([]float64, k*rows)
+	s.MatMulTo(fwd, xs, k, nil)
+	bwd := make([]float64, k*cols)
+	s.MatTMulTo(bwd, ys, k, nil)
+	for v := 0; v < k; v++ {
+		want := mat.MatVec(nil, ex, xs[v*cols:(v+1)*cols])
+		for j := range want {
+			if math.Abs(fwd[v*rows+j]-want[j]) > 1e-9 {
+				t.Fatalf("MatMulTo row %d elem %d = %v want %v", v, j, fwd[v*rows+j], want[j])
+			}
+		}
+		wantT := mat.MatTVec(nil, ex, ys[v*rows:(v+1)*rows])
+		for j := range wantT {
+			if math.Abs(bwd[v*cols+j]-wantT[j]) > 1e-9 {
+				t.Fatalf("MatTMulTo row %d elem %d = %v want %v", v, j, bwd[v*cols+j], wantT[j])
+			}
+		}
+	}
+}
+
+// TestColScaled pins the diagonal right-scaling composite: against the
+// explicit matrix Inner·diag(scale), and batch row v bit-identical to the
+// single-vector path — for both a MultiApplier inner (Stack) and an opaque
+// inner that forces the per-vector fallback.
+func TestColScaled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	a := NewProduct(randMat(rng, 4, 5), randMat(rng, 3, 4))
+	b := NewProduct(randMat(rng, 2, 5), randMat(rng, 5, 4))
+	stack := NewStack([]Linear{a, b}, []float64{0.6, 0.4})
+	_, cols := stack.Dims()
+	scale := make([]float64, cols)
+	for i := range scale {
+		scale[i] = 0.1 + rng.Float64()
+	}
+	ex := mat.VStack(a.Explicit().Scale(0.6), b.Explicit().Scale(0.4))
+	for j := 0; j < cols; j++ {
+		for i := 0; i < ex.Rows(); i++ {
+			ex.Set(i, j, ex.At(i, j)*scale[j])
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		inner Linear
+	}{
+		{"multi", stack},
+		{"fallback", opaque{stack}},
+	} {
+		cs := NewColScaled(tc.inner, scale)
+		rows, _ := cs.Dims()
+		const k = 3
+		xs := randVec(rng, k*cols)
+		ys := randVec(rng, k*rows)
+		for _, workers := range []int{1, 4} {
+			prev := SetWorkers(workers)
+			fwd := make([]float64, k*rows)
+			cs.MatMulTo(fwd, xs, k, nil)
+			bwd := make([]float64, k*cols)
+			cs.MatTMulTo(bwd, ys, k, nil)
+			for v := 0; v < k; v++ {
+				sf := make([]float64, rows)
+				cs.MatVecTo(sf, xs[v*cols:(v+1)*cols], nil)
+				sb := make([]float64, cols)
+				cs.MatTVecTo(sb, ys[v*rows:(v+1)*rows], nil)
+				want := mat.MatVec(nil, ex, xs[v*cols:(v+1)*cols])
+				wantT := mat.MatTVec(nil, ex, ys[v*rows:(v+1)*rows])
+				for j := range sf {
+					if fwd[v*rows+j] != sf[j] {
+						t.Fatalf("%s workers=%d: MatMulTo row %d elem %d = %v, MatVecTo = %v",
+							tc.name, workers, v, j, fwd[v*rows+j], sf[j])
+					}
+					if math.Abs(sf[j]-want[j]) > 1e-9 {
+						t.Fatalf("%s workers=%d: MatVecTo row %d elem %d = %v, explicit = %v",
+							tc.name, workers, v, j, sf[j], want[j])
+					}
+				}
+				for j := range sb {
+					if bwd[v*cols+j] != sb[j] {
+						t.Fatalf("%s workers=%d: MatTMulTo row %d elem %d = %v, MatTVecTo = %v",
+							tc.name, workers, v, j, bwd[v*cols+j], sb[j])
+					}
+					if math.Abs(sb[j]-wantT[j]) > 1e-9 {
+						t.Fatalf("%s workers=%d: MatTVecTo row %d elem %d = %v, explicit = %v",
+							tc.name, workers, v, j, sb[j], wantT[j])
+					}
+				}
+			}
+			SetWorkers(prev)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lsmr
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kron"
+)
+
+// unionOperator builds the stacked union-of-products operator shape that
+// UnionStrategy reconstruction solves.
+func unionOperator(rng *rand.Rand) *kron.Stack {
+	blocks := []kron.Linear{
+		kron.NewProduct(randMat(rng, 9, 8), randMat(rng, 40, 32)),
+		kron.NewProduct(randMat(rng, 7, 8), randMat(rng, 36, 32)),
+	}
+	return kron.NewStack(blocks, []float64{0.6, 0.4})
+}
+
+// TestSolveBatchBitIdenticalToSolve pins the tentpole contract: a batched
+// solve returns, per system, the exact bits of the single-RHS reference —
+// X, Iters, Resid, and Stopped — at any worker count, including batches
+// whose systems converge at different iterations (the compaction path) and
+// a zero RHS (never enters the iteration).
+func TestSolveBatchBitIdenticalToSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	s := unionOperator(rng)
+	rows, cols := s.Dims()
+
+	bs := make([][]float64, 5)
+	for j := range bs {
+		bs[j] = make([]float64, rows)
+	}
+	// System 0: consistent (b = A·x), converges quickly. Systems 1, 3, 4:
+	// random inconsistent, converge later. System 2: zero RHS.
+	xTrue := make([]float64, cols)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	s.MatVec(bs[0], xTrue)
+	for _, j := range []int{1, 3, 4} {
+		for i := range bs[j] {
+			bs[j][i] = rng.NormFloat64()
+		}
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		prev := kron.SetWorkers(workers)
+		opts := Options{Workers: workers}
+		batch := SolveBatch(s, bs, opts)
+		iters := map[int]bool{}
+		for j, b := range bs {
+			single := Solve(s, b, opts)
+			got := batch[j]
+			if got.Iters != single.Iters || got.Resid != single.Resid || got.Stopped != single.Stopped {
+				t.Fatalf("workers=%d system %d: batch (iters=%d resid=%v stopped=%q) != solve (iters=%d resid=%v stopped=%q)",
+					workers, j, got.Iters, got.Resid, got.Stopped, single.Iters, single.Resid, single.Stopped)
+			}
+			for i := range single.X {
+				if got.X[i] != single.X[i] {
+					t.Fatalf("workers=%d system %d: X[%d] = %v, Solve gives %v", workers, j, i, got.X[i], single.X[i])
+				}
+			}
+			iters[got.Iters] = true
+		}
+		if len(iters) < 2 {
+			t.Fatalf("all systems converged at the same iteration %v — the compaction path was not exercised", iters)
+		}
+		if batch[2].Stopped != StoppedZeroRHS {
+			t.Fatalf("zero RHS stopped with %q, want %q", batch[2].Stopped, StoppedZeroRHS)
+		}
+		kron.SetWorkers(prev)
+	}
+}
+
+// TestSolveBatchNonConvergence forces the iteration budget to bind on every
+// system and checks the failure is reported, not silently absorbed.
+func TestSolveBatchNonConvergence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	s := unionOperator(rng)
+	rows, _ := s.Dims()
+	bs := make([][]float64, 3)
+	for j := range bs {
+		bs[j] = make([]float64, rows)
+		for i := range bs[j] {
+			bs[j][i] = rng.NormFloat64()
+		}
+	}
+	for j, res := range SolveBatch(s, bs, Options{MaxIter: 3, Atol: 1e-300, Btol: 1e-300}) {
+		if res.Stopped != StoppedMaxIter {
+			t.Fatalf("system %d stopped with %q, want %q", j, res.Stopped, StoppedMaxIter)
+		}
+		if res.Iters != 3 {
+			t.Fatalf("system %d ran %d iterations, want 3", j, res.Iters)
+		}
+	}
+}
+
+// TestSolveBatchFallback: an operator without a multi-RHS path routes
+// through looped Solve calls and still matches bit for bit.
+func TestSolveBatchFallback(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	a := kron.Wrap(randMat(rng, 20, 6))
+	bs := make([][]float64, 3)
+	for j := range bs {
+		bs[j] = make([]float64, 20)
+		for i := range bs[j] {
+			bs[j][i] = rng.NormFloat64()
+		}
+	}
+	batch := SolveBatch(a, bs, Options{})
+	for j, b := range bs {
+		single := Solve(a, b, Options{})
+		if batch[j].Stopped != single.Stopped || batch[j].Iters != single.Iters {
+			t.Fatalf("system %d diverged from Solve", j)
+		}
+		for i := range single.X {
+			if batch[j].X[i] != single.X[i] {
+				t.Fatalf("system %d: X[%d] mismatch", j, i)
+			}
+		}
+	}
+}
+
+// TestSolveBatchAllocsIndependentOfIterations extends the O(1)-allocation
+// contract to the batched path: all staging and per-system buffers are
+// allocated at setup, so a 200-iteration batch solve allocates no more than
+// a 10-iteration one.
+func TestSolveBatchAllocsIndependentOfIterations(t *testing.T) {
+	prev := kron.SetWorkers(1)
+	defer kron.SetWorkers(prev)
+
+	rng := rand.New(rand.NewPCG(17, 18))
+	s := unionOperator(rng)
+	rows, _ := s.Dims()
+	bs := make([][]float64, 4)
+	for j := range bs {
+		bs[j] = make([]float64, rows)
+		for i := range bs[j] {
+			bs[j][i] = rng.NormFloat64()
+		}
+	}
+	ws := kron.NewWorkspace()
+	solve := func(iters int) []Result {
+		return SolveBatch(s, bs, Options{MaxIter: iters, Atol: 1e-300, Btol: 1e-300, Workspace: ws})
+	}
+	if got := solve(200)[0].Iters; got != 200 {
+		t.Fatalf("long solve stopped after %d iterations, want the full 200", got)
+	}
+	short := testing.AllocsPerRun(5, func() { solve(10) })
+	long := testing.AllocsPerRun(5, func() { solve(200) })
+	if long > short {
+		t.Errorf("200-iteration batch solve allocates %v, 10-iteration %v — allocations grow with iterations", long, short)
+	}
+}

@@ -3,6 +3,14 @@
 // noisy measurements of union-of-product strategies (Section 7.2): it needs
 // only matrix–vector products with A and Aᵀ, which the implicit operators of
 // package kron provide.
+//
+// Two entry points share one scalar recurrence: Solve runs a single
+// right-hand side (the reference path, unchanged numerics), and SolveBatch
+// carries k right-hand sides through the bidiagonalization together, batching
+// the operator applications of all still-active systems into multi-RHS
+// sweeps (kron.MultiApplier) while keeping every per-system scalar exactly
+// where Solve would put it — result j of a batch is bit-identical to solving
+// system j alone.
 package lsmr
 
 import (
@@ -12,11 +20,38 @@ import (
 	"repro/internal/parallel"
 )
 
+// Stopping reasons reported in Result.Stopped. Callers that must react to
+// non-convergence (the union-reconstruction path refuses to serve an
+// unconverged estimate) compare against StoppedMaxIter.
+const (
+	StoppedAtol    = "‖Aᵀr‖ small"
+	StoppedBtol    = "residual small"
+	StoppedExact   = "exact solution"
+	StoppedZeroRHS = "b is zero or AᵀB is zero"
+	StoppedMaxIter = "max iterations"
+)
+
 // Options controls the solver. Zero values select defaults.
 type Options struct {
 	MaxIter int     // default 4·cols
-	Atol    float64 // default 1e-8
-	Btol    float64 // default 1e-8
+	Atol    float64 // default 1e-8 unless AtolSet
+	Btol    float64 // default 1e-8 unless BtolSet
+	// AtolSet / BtolSet make the solver take Atol / Btol exactly as given
+	// instead of treating a non-positive value as "use the default". With
+	// the sentinel set, zero (or a negative value) disables that stopping
+	// rule entirely, so a caller can run the recurrence to an exact-
+	// tolerance or iteration-budget-bound solve. The zero value of Options
+	// keeps the historical behavior.
+	AtolSet bool
+	BtolSet bool
+	// X0 warm-starts the solve from a previous solution: the solver runs on
+	// the residual system A·d ≈ b − A·x0 and returns x = x0 + d. For a
+	// full-column-rank A (every union strategy stack in this codebase) the
+	// least-squares solution is unique, so the warm result agrees with the
+	// cold one to solver tolerance while spending iterations only on the
+	// delta. Result.Resid and the Btol test are relative to the residual
+	// system's RHS ‖b − A·x0‖. X0 is read-only and must have length cols.
+	X0 []float64
 	// Workers bounds the cores used for the solver's O(n) vector updates
 	// (the matvecs parallelize inside package kron). <= 0 selects the
 	// process-wide kernel bound (parallel.SetKernelWorkers, default
@@ -30,6 +65,20 @@ type Options struct {
 	Workspace *kron.Workspace
 }
 
+// withDefaults resolves the zero-value defaults against the problem size.
+func (o Options) withDefaults(cols int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4 * cols
+	}
+	if o.Atol <= 0 && !o.AtolSet {
+		o.Atol = 1e-8
+	}
+	if o.Btol <= 0 && !o.BtolSet {
+		o.Btol = 1e-8
+	}
+	return o
+}
+
 // lsmrParallelLen is the vector length above which the element-wise updates
 // are chunked across cores.
 const lsmrParallelLen = 1 << 16
@@ -39,7 +88,107 @@ type Result struct {
 	X       []float64
 	Iters   int
 	Resid   float64 // final ‖b − Ax‖ estimate
-	Stopped string  // reason
+	Stopped string  // reason (one of the Stopped* constants)
+}
+
+// recurrence is the scalar state of one LSMR system: the Givens-rotation
+// chain driving the h̄/x/h updates and the §5 residual-norm estimates. It is
+// shared verbatim by Solve and SolveBatch — the floating-point operations
+// and their order are identical by construction, which is what makes a
+// batched solve bit-identical to the single-RHS reference.
+type recurrence struct {
+	// Rotation chain (LSMR paper notation).
+	zetabar, alphabar, rho, rhobar, cbar, sbar float64
+	// Residual-estimate state (§5).
+	betadd, betad, rhodold, tautildeold, thetatilde, zeta, d float64
+	normA2, maxrbar, minrbar, normb                          float64
+	// Scratch carried from rotate to estimate within one iteration.
+	chat, shat, c, s, thetabar, rhotemp, zetaold float64
+}
+
+func newRecurrence(alpha, beta float64) recurrence {
+	return recurrence{
+		zetabar:  alpha * beta,
+		alphabar: alpha,
+		rho:      1, rhobar: 1, cbar: 1, sbar: 0,
+		betadd:  beta,
+		rhodold: 1,
+		minrbar: 1e100,
+		normA2:  alpha * alpha,
+		normb:   beta,
+	}
+}
+
+// rotate advances the rotation chain with the iteration's fresh
+// bidiagonalization scalars and returns the coefficients of the fused
+// h̄/x/h update.
+func (r *recurrence) rotate(alpha, beta float64) (c1, c2, c3 float64) {
+	// Construct rotation P̂.
+	chat, shat, alphahat := sym(r.alphabar, 0) // damp = 0
+	// Rotation P.
+	rhoold := r.rho
+	c, s, rhoNew := sym(alphahat, beta)
+	r.rho = rhoNew
+	thetanew := s * alpha
+	r.alphabar = c * alpha
+
+	// Rotation P̄.
+	rhobarold := r.rhobar
+	r.zetaold = r.zeta
+	r.thetabar = r.sbar * r.rho
+	r.rhotemp = r.cbar * r.rho
+	cbarNew, sbarNew, rhobarNew := sym(r.cbar*r.rho, thetanew)
+	r.cbar, r.sbar, r.rhobar = cbarNew, sbarNew, rhobarNew
+	r.zeta = r.cbar * r.zetabar
+	r.zetabar = -r.sbar * r.zetabar
+
+	r.chat, r.shat, r.c, r.s = chat, shat, c, s
+	return r.thetabar * r.rho / (rhoold * rhobarold),
+		r.zeta / (r.rho * r.rhobar),
+		thetanew / r.rho
+}
+
+// estimate advances the residual-norm estimates (from the LSMR paper §5)
+// and evaluates the stopping tests, returning the ‖b − Ax‖ estimate and a
+// non-empty reason when a test fired.
+func (r *recurrence) estimate(alpha, beta, normx float64, iter int, atol, btol float64) (float64, string) {
+	betaacute := r.chat * r.betadd
+	betacheck := -r.shat * r.betadd
+	betahat := r.c * betaacute
+	r.betadd = -r.s * betaacute
+
+	thetatildeold := r.thetatilde
+	ctildeold, stildeold, rhotildeold := sym(r.rhodold, r.thetabar)
+	r.thetatilde = stildeold * r.rhobar
+	r.rhodold = ctildeold * r.rhobar
+	r.betad = -stildeold*r.betad + ctildeold*betahat
+
+	r.tautildeold = (r.zetaold - thetatildeold*r.tautildeold) / rhotildeold
+	taud := (r.zeta - r.thetatilde*r.tautildeold) / r.rhodold
+	r.d += betacheck * betacheck
+	normr := math.Sqrt(r.d + (r.betad-taud)*(r.betad-taud) + r.betadd*r.betadd)
+
+	r.normA2 += beta * beta
+	normA := math.Sqrt(r.normA2)
+	r.normA2 += alpha * alpha
+
+	if math.Abs(r.rhotemp) > r.maxrbar {
+		r.maxrbar = math.Abs(r.rhotemp)
+	}
+	if iter > 1 && math.Abs(r.rhotemp) < r.minrbar {
+		r.minrbar = math.Abs(r.rhotemp)
+	}
+
+	normar := math.Abs(r.zetabar)
+	switch {
+	case normar <= atol*normA*normr:
+		return normr, StoppedAtol
+	case normr <= btol*r.normb+atol*normA*normx:
+		return normr, StoppedBtol
+	case alpha == 0 || beta == 0:
+		return normr, StoppedExact
+	}
+	return normr, ""
 }
 
 // Solve finds the minimum-norm least-squares solution of A·x ≈ b.
@@ -48,15 +197,10 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 	if len(b) != rows {
 		panic("lsmr: rhs length mismatch")
 	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 4 * cols
+	if opts.X0 != nil && len(opts.X0) != cols {
+		panic("lsmr: warm-start x0 length mismatch")
 	}
-	if opts.Atol <= 0 {
-		opts.Atol = 1e-8
-	}
-	if opts.Btol <= 0 {
-		opts.Btol = 1e-8
-	}
+	opts = opts.withDefaults(cols)
 
 	// One workspace serves every operator application of the solve: the
 	// per-iteration matvecs draw all their mode-contraction scratch from it
@@ -82,7 +226,17 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 		a.MatTVec(dst, y)
 	}
 
-	u := append([]float64(nil), b...)
+	u := make([]float64, rows)
+	if opts.X0 != nil {
+		// Warm start: run on the residual system b − A·x0 and add x0 back
+		// before returning.
+		matVec(u, opts.X0)
+		for i, bv := range b {
+			u[i] = bv - u[i]
+		}
+	} else {
+		copy(u, b)
+	}
 	beta := norm2(u)
 	if beta > 0 {
 		scale(1/beta, u)
@@ -99,29 +253,14 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 
 	x := make([]float64, cols)
 	if alpha*beta == 0 {
-		return Result{X: x, Stopped: "b is zero or AᵀB is zero"}
+		addVec(x, opts.X0)
+		return Result{X: x, Stopped: StoppedZeroRHS}
 	}
 
-	// Initialization following the LSMR paper's notation.
-	zetabar := alpha * beta
-	alphabar := alpha
-	rho, rhobar, cbar, sbar := 1.0, 1.0, 1.0, 0.0
+	rec := newRecurrence(alpha, beta)
 
 	h := append([]float64(nil), v...)
 	hbar := make([]float64, cols)
-
-	// Estimates for stopping rules.
-	betadd := beta
-	betad := 0.0
-	rhodold := 1.0
-	tautildeold := 0.0
-	thetatilde := 0.0
-	zeta := 0.0
-	d := 0.0
-	normA2 := alpha * alpha
-	maxrbar := 0.0
-	minrbar := 1e100
-	normb := beta
 
 	tmpRows := make([]float64, rows)
 	tmpCols := make([]float64, cols)
@@ -147,82 +286,204 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 			}
 		}
 
-		// Construct rotation P̂.
-		chat, shat, alphahat := sym(alphabar, 0) // damp = 0
-		// Rotation P.
-		rhoold := rho
-		c, s, rhoNew := sym(alphahat, beta)
-		rho = rhoNew
-		thetanew := s * alpha
-		alphabar = c * alpha
-
-		// Rotation P̄.
-		rhobarold := rhobar
-		zetaold := zeta
-		thetabar := sbar * rho
-		rhotemp := cbar * rho
-		cbarNew, sbarNew, rhobarNew := sym(cbar*rho, thetanew)
-		cbar, sbar, rhobar = cbarNew, sbarNew, rhobarNew
-		zeta = cbar * zetabar
-		zetabar = -sbar * zetabar
-
-		// Update h̄, x, h (fused into one pass per chunk).
-		coef1 := thetabar * rho / (rhoold * rhobarold)
-		coef2 := zeta / (rho * rhobar)
-		coef3 := thetanew / rho
-		fusedUpdate(workers, hbar, x, h, v, coef1, coef2, coef3)
-
-		// Residual-norm estimates (from the LSMR paper §5).
-		betaacute := chat * betadd
-		betacheck := -shat * betadd
-		betahat := c * betaacute
-		betadd = -s * betaacute
-
-		thetatildeold := thetatilde
-		ctildeold, stildeold, rhotildeold := sym(rhodold, thetabar)
-		thetatilde = stildeold * rhobar
-		rhodold = ctildeold * rhobar
-		betad = -stildeold*betad + ctildeold*betahat
-
-		tautildeold = (zetaold - thetatildeold*tautildeold) / rhotildeold
-		taud := (zeta - thetatilde*tautildeold) / rhodold
-		d += betacheck * betacheck
-		normr := math.Sqrt(d + (betad-taud)*(betad-taud) + betadd*betadd)
-
-		normA2 += beta * beta
-		normA := math.Sqrt(normA2)
-		normA2 += alpha * alpha
-
-		if math.Abs(rhotemp) > maxrbar {
-			maxrbar = math.Abs(rhotemp)
-		}
-		if iter > 1 && math.Abs(rhotemp) < minrbar {
-			minrbar = math.Abs(rhotemp)
-		}
-
-		normar := math.Abs(zetabar)
+		// Rotations, then the fused h̄/x/h update, then the §5 estimates
+		// and stopping tests.
+		c1, c2, c3 := rec.rotate(alpha, beta)
+		fusedUpdate(workers, hbar, x, h, v, c1, c2, c3)
 		normx := norm2(x)
+		normr, stopped := rec.estimate(alpha, beta, normx, iter, opts.Atol, opts.Btol)
 
 		res.Iters = iter
 		res.Resid = normr
-		// Stopping tests.
-		switch {
-		case normar <= opts.Atol*normA*normr:
-			res.Stopped = "‖Aᵀr‖ small"
-		case normr <= opts.Btol*normb+opts.Atol*normA*normx:
-			res.Stopped = "residual small"
-		case alpha == 0 || beta == 0:
-			res.Stopped = "exact solution"
-		}
+		res.Stopped = stopped
 		if res.Stopped != "" {
 			break
 		}
 	}
 	if res.Stopped == "" {
-		res.Stopped = "max iterations"
+		res.Stopped = StoppedMaxIter
 	}
+	addVec(x, opts.X0)
 	res.X = x
 	return res
+}
+
+// SolveBatch finds the least-squares solutions of the k independent systems
+// A·x_j ≈ bs[j] sharing one operator. Each system runs the exact scalar
+// recurrence of Solve — result j is bit-identical to Solve(a, bs[j], opts) —
+// but the per-iteration operator applications of all still-active systems
+// ride together as one multi-RHS application when the operator implements
+// kron.MultiApplier (converged systems are compacted out of the batch, which
+// cannot change the survivors' bits: row v of a batched application is
+// independent of the rest of the batch). Operators without a multi-RHS path,
+// and batches of one, fall back to looped Solve calls. Options.X0 is not
+// supported here (warm-start each system through Solve instead) and panics.
+func SolveBatch(a kron.Linear, bs [][]float64, opts Options) []Result {
+	if opts.X0 != nil {
+		panic("lsmr: SolveBatch does not support X0; warm-start per system via Solve")
+	}
+	k := len(bs)
+	if k == 0 {
+		return nil
+	}
+	ma, isMulti := a.(kron.MultiApplier)
+	if !isMulti || k == 1 {
+		out := make([]Result, k)
+		for j, b := range bs {
+			out[j] = Solve(a, b, opts)
+		}
+		return out
+	}
+	rows, cols := a.Dims()
+	for _, b := range bs {
+		if len(b) != rows {
+			panic("lsmr: rhs length mismatch")
+		}
+	}
+	opts = opts.withDefaults(cols)
+	ws := opts.Workspace
+	if ws == nil {
+		ws = kron.GetWorkspace()
+		defer kron.PutWorkspace(ws)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parallel.KernelWorkers()
+	}
+
+	// Per-system state: the same vectors Solve holds, plus the scalar
+	// recurrence. All buffers are allocated here, once — the iteration loop
+	// below performs no allocations.
+	type system struct {
+		u, v, x, h, hbar []float64
+		alpha, beta      float64
+		rec              recurrence
+		res              Result
+		done             bool
+	}
+	systems := make([]system, k)
+	for j := range systems {
+		sy := &systems[j]
+		sy.u = append([]float64(nil), bs[j]...)
+		sy.beta = norm2(sy.u)
+		if sy.beta > 0 {
+			scale(1/sy.beta, sy.u)
+		}
+		sy.v = make([]float64, cols)
+		sy.x = make([]float64, cols)
+	}
+
+	// Batch staging buffers, reused every iteration. idx maps batch row →
+	// system index for the forward sweep, tidx for the transpose sweep.
+	ub := make([]float64, k*rows)
+	vb := make([]float64, k*cols)
+	ab := make([]float64, k*rows)
+	atb := make([]float64, k*cols)
+	idx := make([]int, 0, k)
+	tidx := make([]int, k)
+
+	// Initial v_j = normalize(Aᵀ·u_j), batched over the systems with β > 0.
+	for j := range systems {
+		if systems[j].beta > 0 {
+			copy(ub[len(idx)*rows:(len(idx)+1)*rows], systems[j].u)
+			idx = append(idx, j)
+		}
+	}
+	if n := len(idx); n > 0 {
+		ma.MatTMulTo(atb[:n*cols], ub[:n*rows], n, ws)
+		for bi, j := range idx {
+			sy := &systems[j]
+			copy(sy.v, atb[bi*cols:(bi+1)*cols])
+			sy.alpha = norm2(sy.v)
+			if sy.alpha > 0 {
+				scale(1/sy.alpha, sy.v)
+			}
+		}
+	}
+	for j := range systems {
+		sy := &systems[j]
+		if sy.alpha*sy.beta == 0 {
+			sy.done = true
+			sy.res.Stopped = StoppedZeroRHS
+			continue
+		}
+		sy.rec = newRecurrence(sy.alpha, sy.beta)
+		sy.h = append([]float64(nil), sy.v...)
+		sy.hbar = make([]float64, cols)
+	}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Forward sweep A·v over the still-active systems.
+		idx = idx[:0]
+		for j := range systems {
+			if !systems[j].done {
+				copy(vb[len(idx)*cols:(len(idx)+1)*cols], systems[j].v)
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		ka := len(idx)
+		ma.MatMulTo(ab[:ka*rows], vb[:ka*cols], ka, ws)
+		for bi, j := range idx {
+			sy := &systems[j]
+			subScale(workers, sy.u, ab[bi*rows:(bi+1)*rows], sy.alpha)
+			sy.beta = norm2(sy.u)
+			if sy.beta > 0 {
+				scale(1/sy.beta, sy.u)
+			}
+		}
+
+		// Transpose sweep Aᵀ·u over the systems whose β stayed positive
+		// (β = 0 leaves v and α untouched, exactly as in Solve).
+		kt := 0
+		for _, j := range idx {
+			if systems[j].beta > 0 {
+				copy(ub[kt*rows:(kt+1)*rows], systems[j].u)
+				tidx[kt] = j
+				kt++
+			}
+		}
+		if kt > 0 {
+			ma.MatTMulTo(atb[:kt*cols], ub[:kt*rows], kt, ws)
+			for bi := 0; bi < kt; bi++ {
+				sy := &systems[tidx[bi]]
+				subScale(workers, sy.v, atb[bi*cols:(bi+1)*cols], sy.beta)
+				sy.alpha = norm2(sy.v)
+				if sy.alpha > 0 {
+					scale(1/sy.alpha, sy.v)
+				}
+			}
+		}
+
+		// Scalar phase: rotations, fused update, estimates — per system,
+		// the same operations in the same order as Solve.
+		for _, j := range idx {
+			sy := &systems[j]
+			c1, c2, c3 := sy.rec.rotate(sy.alpha, sy.beta)
+			fusedUpdate(workers, sy.hbar, sy.x, sy.h, sy.v, c1, c2, c3)
+			normx := norm2(sy.x)
+			normr, stopped := sy.rec.estimate(sy.alpha, sy.beta, normx, iter, opts.Atol, opts.Btol)
+			sy.res.Iters = iter
+			sy.res.Resid = normr
+			if stopped != "" {
+				sy.res.Stopped = stopped
+				sy.done = true
+			}
+		}
+	}
+
+	out := make([]Result, k)
+	for j := range systems {
+		sy := &systems[j]
+		if sy.res.Stopped == "" {
+			sy.res.Stopped = StoppedMaxIter
+		}
+		sy.res.X = sy.x
+		out[j] = sy.res
+	}
+	return out
 }
 
 // subScale performs dst[i] = src[i] − a·dst[i], chunked across cores when
@@ -277,16 +538,47 @@ func sym(a, b float64) (c, s, r float64) {
 	return a / r, b / r, r
 }
 
+// norm2 returns ‖x‖₂. The fast path is the historical plain sum of squares
+// — bit-identical for every input whose squared sum stays finite — and only
+// when that sum overflows to +Inf (large well-scaled vectors: ~1e154
+// entries square past MaxFloat64 while the norm itself is representable),
+// or underflows all the way to zero on a non-zero vector, does it fall back
+// to a scaled two-pass accumulation.
 func norm2(x []float64) float64 {
 	s := 0.0
 	for _, v := range x {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	if !math.IsInf(s, 1) && s != 0 {
+		return math.Sqrt(s) // includes NaN inputs: sqrt(NaN) = NaN
+	}
+	amax := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > amax {
+			amax = a
+		}
+	}
+	if amax == 0 || math.IsInf(amax, 1) {
+		return amax // all-zero vector, or a genuine ±Inf entry
+	}
+	s = 0
+	for _, v := range x {
+		r := v / amax
+		s += r * r
+	}
+	return amax * math.Sqrt(s)
 }
 
 func scale(a float64, x []float64) {
 	for i := range x {
 		x[i] *= a
+	}
+}
+
+// addVec adds src into dst element-wise; a nil src is a no-op (the cold-
+// start path).
+func addVec(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
 	}
 }

@@ -1,0 +1,164 @@
+package lsmr
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kron"
+	"repro/internal/mat"
+)
+
+// norm2Plain is the historical accumulation — the differential reference
+// the rewritten norm2 is pinned against on in-range inputs.
+func norm2Plain(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// TestNorm2DifferentialInRange: for every vector whose plain sum of squares
+// stays finite and non-zero, the rewritten norm2 takes the fast path and
+// returns the exact bits of the historical accumulation.
+func TestNorm2DifferentialInRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		scale := math.Pow(10, float64(rng.IntN(241)-120)) // 1e-120 … 1e120
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * scale
+		}
+		want := norm2Plain(x)
+		if math.IsInf(want, 1) || want == 0 {
+			continue // out-of-range draws are covered by the dedicated tests
+		}
+		if got := norm2(x); got != want {
+			t.Fatalf("trial %d (n=%d scale=%g): norm2 = %v, reference = %v", trial, n, scale, got, want)
+		}
+	}
+}
+
+// TestNorm2Overflow: large well-scaled vectors whose squared sum overflows
+// must return the representable true norm instead of +Inf — the headline
+// norm2 bug.
+func TestNorm2Overflow(t *testing.T) {
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 1e160
+	}
+	if ref := norm2Plain(x); !math.IsInf(ref, 1) {
+		t.Fatal("test vector no longer overflows the plain accumulation")
+	}
+	want := 1e160 * math.Sqrt(1000)
+	if got := norm2(x); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("norm2 = %v want %v", got, want)
+	}
+}
+
+// TestNorm2Underflow: a non-zero vector whose every square underflows to
+// zero must return its true (representable) norm, not zero.
+func TestNorm2Underflow(t *testing.T) {
+	x := []float64{1e-200, -1e-200, 1e-200, 1e-200}
+	if ref := norm2Plain(x); ref != 0 {
+		t.Fatal("test vector no longer underflows the plain accumulation")
+	}
+	want := 1e-200 * 2
+	if got := norm2(x); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("norm2 = %v want %v", got, want)
+	}
+}
+
+// TestNorm2Edges: all-zero stays zero, a genuine Inf entry stays Inf, NaN
+// propagates.
+func TestNorm2Edges(t *testing.T) {
+	if got := norm2(make([]float64, 7)); got != 0 {
+		t.Fatalf("norm2(0) = %v", got)
+	}
+	if got := norm2([]float64{1, math.Inf(1), 2}); !math.IsInf(got, 1) {
+		t.Fatalf("norm2 with Inf entry = %v", got)
+	}
+	if got := norm2([]float64{1, math.NaN()}); !math.IsNaN(got) {
+		t.Fatalf("norm2 with NaN entry = %v", got)
+	}
+}
+
+// TestToleranceSentinels: the zero-value Options keep the historical
+// defaults bit for bit, while AtolSet/BtolSet let a caller take Atol/Btol
+// exactly as given — including zero, which disables the rule and lets the
+// iteration budget bind.
+func TestToleranceSentinels(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := kron.Wrap(randMat(rng, 20, 6))
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	implicit := Solve(a, b, Options{})
+	explicit := Solve(a, b, Options{Atol: 1e-8, Btol: 1e-8})
+	if implicit.Iters != explicit.Iters || implicit.Stopped != explicit.Stopped {
+		t.Fatalf("zero-value defaults diverged: %d/%q vs %d/%q", implicit.Iters, implicit.Stopped, explicit.Iters, explicit.Stopped)
+	}
+	for i := range implicit.X {
+		if implicit.X[i] != explicit.X[i] {
+			t.Fatalf("zero-value defaults diverged at X[%d]", i)
+		}
+	}
+
+	exact := Solve(a, b, Options{MaxIter: 15, AtolSet: true, BtolSet: true})
+	if exact.Stopped != StoppedMaxIter || exact.Iters != 15 {
+		t.Fatalf("sentinel-zero tolerances stopped with %q after %d iterations, want the full 15 (%q)", exact.Stopped, exact.Iters, StoppedMaxIter)
+	}
+	if exact.Iters <= implicit.Iters {
+		t.Fatalf("exact-tolerance solve (%d iters) did not outrun the default stop (%d iters)", exact.Iters, implicit.Iters)
+	}
+}
+
+// TestSolveWarmStart: warm-starting from the exact solution returns it
+// untouched, and warm-starting from a perturbed solution lands on the cold
+// solution to solver tolerance while spending fewer iterations.
+func TestSolveWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	am := randMat(rng, 20, 6)
+	a := kron.Wrap(am)
+
+	// Consistent system: X0 = exact solution ⇒ zero residual RHS, returned
+	// verbatim without an iteration.
+	xTrue := make([]float64, 6)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	bc := mat.MatVec(nil, am, xTrue)
+	res := Solve(a, bc, Options{X0: xTrue})
+	if res.Stopped != StoppedZeroRHS || res.Iters != 0 {
+		t.Fatalf("warm start at the solution ran %d iterations (%q)", res.Iters, res.Stopped)
+	}
+	for i := range xTrue {
+		if res.X[i] != xTrue[i] {
+			t.Fatalf("warm start at the solution moved X[%d]", i)
+		}
+	}
+
+	// Inconsistent system: cold solve, then warm from a perturbation of it.
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cold := Solve(a, b, Options{})
+	x0 := make([]float64, 6)
+	for i := range x0 {
+		x0[i] = cold.X[i] + 1e-6*rng.NormFloat64()
+	}
+	warm := Solve(a, b, Options{X0: x0})
+	for i := range cold.X {
+		if math.Abs(warm.X[i]-cold.X[i]) > 1e-7 {
+			t.Fatalf("warm X[%d] = %v, cold = %v", i, warm.X[i], cold.X[i])
+		}
+	}
+	if warm.Iters >= cold.Iters {
+		t.Fatalf("warm solve took %d iterations, cold took %d — warm start bought nothing", warm.Iters, cold.Iters)
+	}
+}

@@ -144,6 +144,36 @@ func Run(w *workload.Workload, x []float64, eps float64, rng *rand.Rand, opts Op
 	return res, nil
 }
 
+// batchReconstructor is implemented by strategies with a native multi-RHS
+// reconstruction (KronStrategy's batched pseudo-inverse GEMMs,
+// UnionStrategy's multi-RHS LSMR solve).
+type batchReconstructor interface {
+	ReconstructBatch(ys [][]float64) ([][]float64, error)
+}
+
+// ReconstructBatch runs the RECONSTRUCT phase for k measurement vectors of
+// one strategy. Strategies exposing a native multi-RHS path answer the
+// whole batch in one pass (k Monte-Carlo trials cost one wide solve
+// instead of k thin ones); other strategies fall back to sequential
+// Reconstruct calls. Row j is bit-identical to Reconstruct(ys[j]) either
+// way. A union strategy that fails to converge returns the full result set
+// together with the first failure's error (wrapping core.ErrNotConverged),
+// mirroring UnionStrategy.ReconstructBatch.
+func ReconstructBatch(s core.Strategy, ys [][]float64) ([][]float64, error) {
+	if br, ok := s.(batchReconstructor); ok {
+		return br.ReconstructBatch(ys)
+	}
+	out := make([][]float64, len(ys))
+	for j, y := range ys {
+		x, err := s.Reconstruct(y)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = x
+	}
+	return out, nil
+}
+
 // AnswerProduct evaluates one query product on a (possibly private)
 // data-vector estimate: ans = weight·(W₁⊗···⊗W_d)·x̂, materializing only
 // the small per-attribute matrices (pᵢ×nᵢ each). Both the one-shot

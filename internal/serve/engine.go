@@ -45,6 +45,11 @@ type Options struct {
 	// (memory-only if CacheDir is ""), so engines built at different times
 	// in one process reuse each other's strategies.
 	Registry *registry.Registry
+	// SolveMaxIter caps the LSMR iterations of a union-strategy
+	// reconstruction (0 = solver default). When the budget binds before
+	// convergence, NewEngine fails with an error wrapping
+	// core.ErrNotConverged instead of serving from the unconverged iterate.
+	SolveMaxIter int
 }
 
 // Engine serves private answers for one workload at one privacy budget.
@@ -65,8 +70,9 @@ type Engine struct {
 	rootMSE   float64
 	eps       float64
 	delta     float64
-	y         []float64 // the noisy measurement vector (what the budget bought)
-	seed      uint64    // noise seed of the measurement (0 = fresh entropy)
+	y         []float64       // the noisy measurement vector (what the budget bought)
+	seed      uint64          // noise seed of the measurement (0 = fresh entropy)
+	solve     *core.SolveInfo // union-reconstruction diagnostics (nil otherwise)
 }
 
 // NewEngine builds a serving engine: it resolves the strategy through the
@@ -136,7 +142,22 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		y = mech.Measure(op, x, eps, rng)
 		rootMSE = math.Sqrt(2*rec.Err/float64(w.NumQueries())) / eps
 	}
-	xhat, err := rec.Strategy.Reconstruct(y)
+	// Union strategies run the iterative LSMR reconstruction; route them
+	// through the option-bearing entry point so the engine records solver
+	// diagnostics (surfaced via SolveInfo and the daemon's /metrics) and
+	// honors the caller's iteration cap. A non-converged solve is a
+	// construction failure — the unconverged iterate must never be served.
+	var xhat []float64
+	var solve *core.SolveInfo
+	if us, ok := rec.Strategy.(*core.UnionStrategy); ok {
+		solve = &core.SolveInfo{}
+		xhat, err = us.ReconstructOpt(y, core.ReconstructOptions{
+			MaxIter: opts.SolveMaxIter,
+			Info:    solve,
+		})
+	} else {
+		xhat, err = rec.Strategy.Reconstruct(y)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +176,7 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		delta:     opts.Delta,
 		y:         y,
 		seed:      opts.Seed,
+		solve:     solve,
 	}, nil
 }
 
@@ -257,6 +279,13 @@ func (e *Engine) Measurement() []float64 { return e.y }
 
 // Seed returns the noise seed the measurement used (0 = fresh entropy).
 func (e *Engine) Seed() uint64 { return e.seed }
+
+// SolveInfo returns the diagnostics of the union-strategy reconstruction
+// this engine performed at construction (iterations, residual estimate,
+// stopping reason, preconditioning), or nil for engines whose strategy
+// reconstructs in closed form and for engines restored from snapshots
+// (restore does not re-run the solve).
+func (e *Engine) SolveInfo() *core.SolveInfo { return e.solve }
 
 // Answer evaluates a batch of query products against the private estimate,
 // returning one answer vector per product (the product's queries in

@@ -16,6 +16,18 @@ import (
 type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	solver    solverMetrics
+}
+
+// solverMetrics aggregates the union-reconstruction LSMR solves run by
+// registrations. Closed-form strategies never touch the iterative solver,
+// so the counters stay zero (and the /metrics document omits them) on
+// deployments that only serve Kronecker or marginals strategies.
+type solverMetrics struct {
+	solves    int64
+	iters     int64
+	failures  int64 // solves that stopped on the iteration cap (ErrNotConverged)
+	lastResid float64
 }
 
 type endpointMetrics struct {
@@ -44,6 +56,47 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 	e.total += d
 	if d > e.max {
 		e.max = d
+	}
+}
+
+// observeSolve records one converged union-reconstruction solve.
+func (m *metrics) observeSolve(iters int, resid float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solver.solves++
+	m.solver.iters += int64(iters)
+	m.solver.lastResid = resid
+}
+
+// observeSolveFailure records a union reconstruction that hit its
+// iteration cap and surfaced ErrNotConverged.
+func (m *metrics) observeSolveFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solver.failures++
+}
+
+// SolverStats is the exported union-solver snapshot served by /metrics.
+type SolverStats struct {
+	Solves       int64   `json:"solves"`        // converged union reconstructions
+	Iterations   int64   `json:"iterations"`    // total LSMR iterations across them
+	Failures     int64   `json:"failures"`      // reconstructions that hit the iteration cap
+	LastResidual float64 `json:"last_residual"` // residual norm of the most recent converged solve
+}
+
+// solverSnapshot returns the solver counters, or nil when no union solve
+// has run yet (the JSON document omits the section entirely).
+func (m *metrics) solverSnapshot() *SolverStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.solver.solves == 0 && m.solver.failures == 0 {
+		return nil
+	}
+	return &SolverStats{
+		Solves:       m.solver.solves,
+		Iterations:   m.solver.iters,
+		Failures:     m.solver.failures,
+		LastResidual: m.solver.lastResid,
 	}
 }
 
@@ -105,6 +158,12 @@ func (m *MetricsResponse) prometheus() []byte {
 			func(e EndpointStats) any { return e.MaxMs })
 	}
 
+	if s := m.Solver; s != nil {
+		counter("hdmm_union_solves_total", "Converged union-reconstruction LSMR solves.", s.Solves)
+		counter("hdmm_union_solve_iterations_total", "Total LSMR iterations across converged union solves.", s.Iterations)
+		counter("hdmm_union_solve_failures_total", "Union reconstructions that hit the iteration cap.", s.Failures)
+		fmt.Fprintf(&b, "# HELP hdmm_union_solve_last_residual Residual norm of the most recent converged union solve.\n# TYPE hdmm_union_solve_last_residual gauge\nhdmm_union_solve_last_residual %v\n", s.LastResidual)
+	}
 	if s := m.Snapshots; s != nil {
 		counter("hdmm_snapshot_writes_total", "Engine snapshots persisted crash-safely.", s.Writes)
 		counter("hdmm_snapshot_write_errors_total", "Snapshot saves that failed after retries.", s.WriteErrors)

@@ -148,6 +148,11 @@ type Config struct {
 	// MaxRestarts caps a registration's requested strategy-selection
 	// restarts (<= 0 = DefaultMaxRestarts).
 	MaxRestarts int
+	// SolveMaxIter caps the LSMR iterations of a union strategy's
+	// reconstruction during registration (0 = solver default). When the cap
+	// binds, registration fails with a 500 wrapping core.ErrNotConverged
+	// rather than serving answers from an unconverged estimate.
+	SolveMaxIter int
 }
 
 // Server is the HTTP answer-serving daemon. It implements http.Handler.
@@ -342,6 +347,13 @@ type EngineInfo struct {
 	Delta        float64 `json:"delta"`
 	Domain       []int   `json:"domain"`
 	NumQueries   int     `json:"num_queries"`
+	// Solver fields describe the union-reconstruction LSMR solve that built
+	// this engine's estimate; omitted for closed-form strategies (Kronecker,
+	// marginals) and for engines rehydrated from snapshots, which restore
+	// the estimate without re-running the solve.
+	SolverIters          int     `json:"solver_iters,omitempty"`
+	SolverResid          float64 `json:"solver_resid,omitempty"`
+	SolverPreconditioned bool    `json:"solver_preconditioned,omitempty"`
 }
 
 // MetricsResponse is the /metrics document (JSON form; the endpoint
@@ -351,6 +363,9 @@ type MetricsResponse struct {
 	Engines       int                      `json:"engines"`
 	StrategyCache CacheStats               `json:"strategy_cache"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Solver reports the union-reconstruction LSMR counters; nil until a
+	// registration has run (or failed) an iterative union solve.
+	Solver *SolverStats `json:"solver,omitempty"`
 	// Snapshots reports the durable store's counters; nil when no
 	// SnapshotDir is configured or the store could not be opened.
 	Snapshots *snapshot.Stats `json:"snapshots,omitempty"`
@@ -438,11 +453,12 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 	key := s.engineKey(strategyKey, req.Eps, req.Delta, req.Seed, x)
 	eng, found, err := s.pool.GetOrCreate(key, func() (*serve.Engine, error) {
 		return serve.NewEngine(w, x, req.Eps, serve.Options{
-			Selection: sel,
-			Delta:     req.Delta,
-			Seed:      req.Seed,
-			Workers:   s.cfg.Workers,
-			Registry:  s.reg,
+			Selection:    sel,
+			Delta:        req.Delta,
+			Seed:         req.Seed,
+			Workers:      s.cfg.Workers,
+			Registry:     s.reg,
+			SolveMaxIter: s.cfg.SolveMaxIter,
 		})
 	})
 	if errors.Is(err, serve.ErrPoolFull) {
@@ -452,7 +468,18 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 		}
 	}
 	if err != nil {
+		// A solve that hit its iteration cap is an internal failure (500
+		// with a server-side log), but it is also the exact signal the
+		// solver counters exist for — record it before bubbling up.
+		if errors.Is(err, core.ErrNotConverged) {
+			s.met.observeSolveFailure()
+		}
 		return nil, err
+	}
+	if !found {
+		if si := eng.SolveInfo(); si != nil {
+			s.met.observeSolve(si.Iters, si.Resid)
+		}
 	}
 	if !found && s.snaps != nil {
 		// This registration took the one measurement — make it durable.
@@ -585,7 +612,7 @@ func (s *Server) Info(key string) (*EngineInfo, error) {
 		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no engine registered under key %q", key)}
 	}
 	w := eng.Workload()
-	return &EngineInfo{
+	info := &EngineInfo{
 		Key:          key,
 		StrategyKey:  eng.Key(),
 		Operator:     eng.Operator(),
@@ -595,7 +622,13 @@ func (s *Server) Info(key string) (*EngineInfo, error) {
 		Delta:        eng.Delta(),
 		Domain:       w.Domain.AttrSizes(),
 		NumQueries:   w.NumQueries(),
-	}, nil
+	}
+	if si := eng.SolveInfo(); si != nil {
+		info.SolverIters = si.Iters
+		info.SolverResid = si.Resid
+		info.SolverPreconditioned = si.Preconditioned
+	}
+	return info, nil
 }
 
 // Metrics returns the server's observability snapshot.
@@ -609,6 +642,7 @@ func (s *Server) Metrics() *MetricsResponse {
 		Engines:       s.pool.Len(),
 		StrategyCache: cache,
 		Endpoints:     s.met.snapshot(),
+		Solver:        s.met.solverSnapshot(),
 		Degraded:      s.degraded(),
 	}
 	if s.snaps != nil {
