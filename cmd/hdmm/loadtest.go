@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	hdmm "repro"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// loadtestRow is one row of the loadtest artifact. The first six fields
+// are the exact shape of the bench harness's rows (BENCH_*.json), so the
+// same tooling ingests both; the rest are load-test extensions — an
+// open-loop run has percentiles and error counts where a closed
+// microbenchmark loop has neither.
+type loadtestRow struct {
+	Op          string  `json:"op"`
+	Workers     int     `json:"workers"` // in-flight cap of the open-loop generator
+	Iters       int     `json:"iters"`   // requests completed
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // always 0: client-side allocs are not the server's story
+	MBPerS      float64 `json:"mb_per_s"`      // request+response bytes moved per second
+
+	TargetRate   float64 `json:"target_rate"`   // configured arrival rate (req/s)
+	AchievedRate float64 `json:"achieved_rate"` // completions per second
+	Offered      int     `json:"offered"`       // arrivals the Poisson schedule generated
+	Errors       int     `json:"errors"`
+	Dropped      int     `json:"dropped"` // arrivals shed at the in-flight cap
+	P50Ns        float64 `json:"p50_ns"`
+	P95Ns        float64 `json:"p95_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	MaxNs        float64 `json:"max_ns"`
+}
+
+// cmdLoadtest drives a running hdmm daemon with open-loop Poisson load:
+// it registers a tenant (synthetic deterministic data unless the daemon
+// already has it — registration is idempotent), then fires the chosen
+// operation at the target rate and reports latency percentiles from the
+// same histogram buckets the daemon's own /metrics uses. With -saturate
+// it steps the rate up each round until p99 crosses -p99-bound.
+func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
+	wf := newWorkloadFlags("loadtest")
+	addr := wf.fs.String("addr", "", "base URL of the daemon under test, e.g. http://127.0.0.1:8080 (required)")
+	eps := wf.fs.Float64("eps", 1.0, "privacy budget ε of the test tenant")
+	seed := wf.fs.Uint64("seed", 1, "noise seed of the test tenant (non-zero: registration is reproducible and idempotent across runs)")
+	restarts := wf.fs.Int("restarts", 2, "strategy-selection restarts for the test tenant's registration")
+	optseed := wf.fs.Uint64("optseed", 9, "strategy-selection seed")
+	op := wf.fs.String("op", "answer", "operation to drive: answer (batch answering) or register (idempotent re-registration)")
+	rate := wf.fs.Float64("rate", 50, "mean arrival rate, requests per second")
+	duration := wf.fs.Duration("duration", 5*time.Second, "arrival window per run")
+	loadSeed := wf.fs.Uint64("load-seed", 0, "inter-arrival RNG seed (0 = fixed default; runs are reproducible arrival-for-arrival)")
+	inflight := wf.fs.Int("max-inflight", 0, "cap on concurrent requests (0 = 1024); arrivals beyond it are dropped, never queued")
+	saturate := wf.fs.Bool("saturate", false, "step the rate up by -factor per round until p99 exceeds -p99-bound")
+	p99Bound := wf.fs.Duration("p99-bound", 0, "p99 latency that defines saturation (required with -saturate)")
+	factor := wf.fs.Float64("factor", 2, "rate multiplier between saturation rounds")
+	steps := wf.fs.Int("steps", 8, "maximum saturation rounds")
+	wf.fs.SetOutput(stderr)
+	if err := wf.fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return usageError(err.Error())
+	}
+	if wf.fs.NArg() > 0 {
+		return usageError("loadtest takes no positional arguments")
+	}
+	if *addr == "" {
+		return usageError("loadtest requires -addr URL of a running daemon (hdmm serve -http)")
+	}
+	base := strings.TrimRight(*addr, "/")
+	if *op != "answer" && *op != "register" {
+		return usageError("-op must be answer or register")
+	}
+	if *saturate && *p99Bound <= 0 {
+		return usageError("-saturate requires a positive -p99-bound")
+	}
+	// Default workload: small enough to register in milliseconds, real
+	// enough (two attributes, range + prefix structure) to exercise the
+	// Kronecker answer path.
+	if *wf.domain == "" {
+		*wf.domain = "2,16"
+	}
+	if len(wf.queries) == 0 {
+		wf.queries = []string{"I,R", "T,P"}
+	}
+	sizes, err := hdmm.ParseSizes(*wf.domain)
+	if err != nil {
+		return err
+	}
+	cells := 1
+	for _, n := range sizes {
+		cells *= n
+	}
+	// Synthetic deterministic histogram: the loadtest measures the serving
+	// path, not a dataset, and a fixed vector keeps registration idempotent
+	// across runs against a long-lived daemon.
+	data := make([]float64, cells)
+	for i := range data {
+		data[i] = float64((i * 7) % 13)
+	}
+	regBody, err := json.Marshal(&server.RegisterRequest{
+		Domain:   sizes,
+		Queries:  wf.queries,
+		Data:     data,
+		Eps:      *eps,
+		Seed:     *seed,
+		Restarts: *restarts,
+		OptSeed:  *optseed,
+	})
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var moved atomic.Int64 // request+response bytes across the whole run
+	post := func(ctx context.Context, url string, body []byte) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		n, _ := io.Copy(io.Discard, resp.Body)
+		moved.Add(int64(len(body)) + n)
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Register the test tenant up front (and verify the daemon is
+	// reachable) — the registration's one measurement must not be timed as
+	// load, and op=answer needs the engine key.
+	ctx := context.Background()
+	regURL := base + "/v1/engines"
+	resp, err := client.Post(regURL, "application/json", bytes.NewReader(regBody))
+	if err != nil {
+		return fmt.Errorf("registering test tenant: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registering test tenant: status %d: %s", resp.StatusCode, raw)
+	}
+	var reg server.RegisterResponse
+	if err := json.Unmarshal(raw, &reg); err != nil {
+		return fmt.Errorf("registering test tenant: %w", err)
+	}
+	fmt.Fprintf(stderr, "loadtest: tenant %s (strategy %s, reused=%v)\n", reg.Key[:16], reg.Operator, reg.Reused)
+
+	var do func(context.Context) error
+	switch *op {
+	case "answer":
+		ansBody, err := json.Marshal(map[string][]string{"queries": wf.queries})
+		if err != nil {
+			return err
+		}
+		ansURL := base + "/v1/engines/" + reg.Key + "/answer"
+		// One untimed probe: a misconfigured batch must fail loudly before
+		// the run, not as a 100% error rate in the report.
+		if err := post(ctx, ansURL, ansBody); err != nil {
+			return fmt.Errorf("probe answer request failed: %w", err)
+		}
+		do = func(ctx context.Context) error { return post(ctx, ansURL, ansBody) }
+	case "register":
+		// Idempotent re-registrations: same key every time, no second
+		// measurement — this drives the validation/keying/pool-hit path.
+		do = func(ctx context.Context) error { return post(ctx, regURL, regBody) }
+	}
+
+	load := obs.LoadOptions{Rate: *rate, Duration: *duration, Seed: *loadSeed, MaxInFlight: *inflight}
+	start := time.Now()
+	var results []*obs.LoadResult
+	if *saturate {
+		results, err = obs.SaturationSearch(ctx, obs.SaturationOptions{
+			Load: load, Factor: *factor, MaxSteps: *steps, P99Bound: *p99Bound,
+		}, do)
+	} else {
+		var r *obs.LoadResult
+		r, err = obs.RunLoad(ctx, load, do)
+		results = []*obs.LoadResult{r}
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	// Bytes are tracked run-wide (the steps of a saturation search share
+	// one counter), so per-row MB/s uses the run-wide mean bytes per op.
+	totalReqs := 0
+	for _, r := range results {
+		totalReqs += r.Requests
+	}
+	bytesPerOp := 0.0
+	if totalReqs > 0 {
+		bytesPerOp = float64(moved.Load()) / float64(totalReqs)
+	}
+
+	workers := *inflight
+	if workers <= 0 {
+		workers = 1024
+	}
+	rows := make([]loadtestRow, len(results))
+	for i, r := range results {
+		rows[i] = loadtestRow{
+			Op:           "serve/loadtest/" + *op,
+			Workers:      workers,
+			Iters:        r.Requests,
+			NsPerOp:      r.Latency.Mean() * 1e9,
+			MBPerS:       bytesPerOp * r.AchievedRate / 1e6,
+			TargetRate:   r.TargetRate,
+			AchievedRate: r.AchievedRate,
+			Offered:      r.Offered,
+			Errors:       r.Errors,
+			Dropped:      r.Dropped,
+			P50Ns:        float64(r.P50.Nanoseconds()),
+			P95Ns:        float64(r.P95.Nanoseconds()),
+			P99Ns:        float64(r.P99.Nanoseconds()),
+			MaxNs:        float64(r.Max.Nanoseconds()),
+		}
+		fmt.Fprintf(stderr, "loadtest: %s rate %.0f/s: %d reqs, %d errors, %d dropped, p50 %s p95 %s p99 %s max %s\n",
+			*op, r.TargetRate, r.Requests, r.Errors, r.Dropped, r.P50, r.P95, r.P99, r.Max)
+	}
+	if *saturate {
+		last := results[len(results)-1]
+		if last.P99 > *p99Bound || last.Errors > 0 || last.Dropped > 0 {
+			fmt.Fprintf(stderr, "loadtest: saturated at %.0f req/s (p99 %s, bound %s) after %s\n",
+				last.TargetRate, last.P99, *p99Bound, elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(stderr, "loadtest: no saturation within %d rounds (final rate %.0f req/s, p99 %s)\n",
+				len(results), last.TargetRate, last.P99)
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startLoadtestDaemon boots the HTTP daemon on a loopback port and returns
+// its base URL plus a shutdown func.
+func startLoadtestDaemon(t *testing.T, cfg daemonConfig) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		errc <- serveDaemon(ctx, "127.0.0.1:0", cfg, &out, &errb, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, errb.String())
+	}
+	return "http://" + addr, func() {
+		cancel()
+		if err := <-errc; err != nil {
+			t.Errorf("daemon exited with: %v\n%s", err, errb.String())
+		}
+	}
+}
+
+// TestLoadtestEndToEnd: `hdmm loadtest` against a live daemon completes
+// with zero errors and emits one BENCH-shaped JSON row with non-zero
+// percentiles derived from real request latencies.
+func TestLoadtestEndToEnd(t *testing.T) {
+	base, stop := startLoadtestDaemon(t, daemonConfig{cache: t.TempDir(), drain: 2 * time.Second})
+	defer stop()
+
+	var out, errb bytes.Buffer
+	err := cmdLoadtest([]string{
+		"-addr", base,
+		"-rate", "200",
+		"-duration", "500ms",
+		"-seed", "7",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("loadtest: %v\n%s", err, errb.String())
+	}
+
+	var rows []loadtestRow
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("loadtest stdout is not a JSON row array: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Op != "serve/loadtest/answer" {
+		t.Errorf("op = %q", r.Op)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors = %d, want 0", r.Errors)
+	}
+	if r.Iters <= 0 || r.Offered < r.Iters {
+		t.Errorf("iters = %d, offered = %d", r.Iters, r.Offered)
+	}
+	if r.P50Ns <= 0 || r.P99Ns <= 0 {
+		t.Errorf("percentiles p50=%v p99=%v, want non-zero", r.P50Ns, r.P99Ns)
+	}
+	if r.P99Ns < r.P50Ns {
+		t.Errorf("p99 %v < p50 %v", r.P99Ns, r.P50Ns)
+	}
+	if r.NsPerOp <= 0 || r.MBPerS <= 0 {
+		t.Errorf("ns_per_op=%v mb_per_s=%v, want positive", r.NsPerOp, r.MBPerS)
+	}
+	if !strings.Contains(errb.String(), "loadtest: tenant ") {
+		t.Errorf("missing tenant line in stderr:\n%s", errb.String())
+	}
+
+	// The daemon's own histograms saw the same traffic: its answer p99 is
+	// non-zero too (the loadtest and /metrics share bucket layout).
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `hdmm_request_duration_seconds_count{endpoint="answer"}`) {
+		t.Error("daemon metrics missing the answer latency histogram after the run")
+	}
+}
+
+// TestLoadtestRegisterOpAndSaturate: op=register drives idempotent
+// re-registrations (no new measurements), and the saturation search emits
+// one row per round with ascending target rates.
+func TestLoadtestRegisterOpAndSaturate(t *testing.T) {
+	base, stop := startLoadtestDaemon(t, daemonConfig{cache: t.TempDir(), drain: 2 * time.Second})
+	defer stop()
+
+	var out, errb bytes.Buffer
+	err := cmdLoadtest([]string{
+		"-addr", base,
+		"-op", "register",
+		"-rate", "50",
+		"-duration", "300ms",
+		"-seed", "7",
+		"-saturate",
+		"-p99-bound", "1ns", // saturates on the first round, keeping the test fast
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("loadtest: %v\n%s", err, errb.String())
+	}
+	var rows []loadtestRow
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("stdout: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 {
+		t.Fatalf("p99 bound of 1ns should saturate in one round, got %d rows", len(rows))
+	}
+	if rows[0].Op != "serve/loadtest/register" {
+		t.Errorf("op = %q", rows[0].Op)
+	}
+	if rows[0].Errors != 0 {
+		t.Errorf("idempotent re-registrations errored %d times:\n%s", rows[0].Errors, errb.String())
+	}
+	if !strings.Contains(errb.String(), "saturated at") {
+		t.Errorf("missing saturation line in stderr:\n%s", errb.String())
+	}
+}
+
+// TestServeDaemonPprof: -pprof-addr serves net/http/pprof on its own
+// listener, separate from the API address.
+func TestServeDaemonPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var out, errb bytes.Buffer
+	cfg := daemonConfig{cache: t.TempDir(), drain: 2 * time.Second, pprofAddr: "127.0.0.1:0"}
+	go func() {
+		errc <- serveDaemon(ctx, "127.0.0.1:0", cfg, &out, &errb, func(addr string) { ready <- addr })
+	}()
+	var apiAddr string
+	select {
+	case apiAddr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, errb.String())
+	}
+	defer func() {
+		cancel()
+		<-errc
+	}()
+
+	// The bound pprof address is announced on stderr before onReady.
+	var pprofURL string
+	for _, line := range strings.Split(errb.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "hdmm: pprof on "); ok {
+			pprofURL = rest
+		}
+	}
+	if pprofURL == "" {
+		t.Fatalf("no pprof announcement in stderr:\n%s", errb.String())
+	}
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d, body %.80s", resp.StatusCode, body)
+	}
+
+	// And the API listener does NOT expose pprof.
+	resp, err = http.Get("http://" + apiAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API listener serves /debug/pprof/ — profiling leaked onto the public address")
+	}
+}
+
+// TestLoadtestUsageErrors: bad invocations fail as usage errors before any
+// network traffic.
+func TestLoadtestUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no addr":             {"-rate", "10"},
+		"bad op":              {"-addr", "http://x", "-op", "delete"},
+		"saturate sans bound": {"-addr", "http://x", "-saturate"},
+		"positional args":     {"-addr", "http://x", "extra.csv"},
+	} {
+		var out, errb bytes.Buffer
+		err := cmdLoadtest(args, &out, &errb)
+		if _, ok := err.(usageError); !ok {
+			t.Errorf("%s: err = %v, want usageError", name, err)
+		}
+	}
+}

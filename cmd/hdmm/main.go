@@ -6,6 +6,7 @@
 //	hdmm optimize -domain 2,115 -query I,R -cache DIR        # precompute + persist strategy
 //	hdmm serve -domain 2,115 -query I,R -cache DIR -eps 1 data.csv   # load strategy, answer
 //	hdmm serve -http :8080 -cache DIR -snapshot-dir SNAPS    # HTTP answer-serving daemon
+//	hdmm loadtest -addr http://127.0.0.1:8080 -rate 200      # open-loop load against a daemon
 //	hdmm snapshots -dir SNAPS                                # inspect a snapshot directory
 //	hdmm -domain 2,115 -query I,R -eps 1.0 data.csv          # legacy one-shot run
 //
@@ -42,6 +43,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	hdmm "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -68,6 +71,8 @@ func main() {
 			err = cmdBench(args[1:], os.Stdout, os.Stderr)
 		case "snapshots":
 			err = cmdSnapshots(args[1:], os.Stdout, os.Stderr)
+		case "loadtest":
+			err = cmdLoadtest(args[1:], os.Stdout, os.Stderr)
 		default:
 			err = cmdRun(args, os.Stdout, os.Stderr)
 		}
@@ -189,6 +194,10 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	drain := wf.fs.Duration("drain", 30*time.Second, "how long the daemon waits for in-flight requests on shutdown")
 	snapDir := wf.fs.String("snapshot-dir", "", "durable engine-snapshot directory: a restarted daemon recovers its engines without re-measuring")
 	solveMaxIter := wf.fs.Int("solve-max-iter", 0, "cap on LSMR iterations for union-strategy reconstruction (0 = solver default); a registration whose solve hits the cap fails instead of serving unconverged answers")
+	logFormat := wf.fs.String("log-format", "text", "daemon log format: text or json")
+	logLevel := wf.fs.String("log-level", "info", "daemon log level: debug, info, warn, or error")
+	pprofAddr := wf.fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = no profiling endpoint")
+	slowReq := wf.fs.Duration("slow-request", 0, "log a warning with the per-stage breakdown for requests slower than this (0 = 1s default; negative = disabled)")
 	wf.fs.SetOutput(stderr)
 	if err := wf.fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -208,6 +217,10 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 			workers:      *workers,
 			drain:        *drain,
 			solveMaxIter: *solveMaxIter,
+			logFormat:    *logFormat,
+			logLevel:     *logLevel,
+			pprofAddr:    *pprofAddr,
+			slowReq:      *slowReq,
 		}
 		if *queryFile != "" {
 			return usageError("-queries applies to one-shot serve; the HTTP daemon answers query batches per request")
@@ -257,7 +270,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	var daemonOnly []string
 	wf.fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "drain", "snapshot-dir", "solve-max-iter":
+		case "drain", "snapshot-dir", "solve-max-iter", "log-format", "log-level", "pprof-addr", "slow-request":
 			daemonOnly = append(daemonOnly, "-"+f.Name)
 		}
 	})
@@ -326,6 +339,10 @@ type daemonConfig struct {
 	workers      int
 	drain        time.Duration // shutdown grace for in-flight requests
 	solveMaxIter int           // union-reconstruction LSMR iteration cap (0 = default)
+	logFormat    string        // slog handler: "text" or "json" ("" = text)
+	logLevel     string        // minimum level ("" = info)
+	pprofAddr    string        // separate net/http/pprof address ("" = off)
+	slowReq      time.Duration // slow-request log threshold (0 = server default)
 	domain       string        // pre-registration workload ("" = none)
 	queries      []string      // pre-registration product specs
 	dataPath     string        // pre-registration dataset
@@ -337,9 +354,47 @@ type daemonConfig struct {
 // after every startup message has been written (tests listen on :0).
 func serveDaemon(ctx context.Context, addr string, cfg daemonConfig, stdout, stderr io.Writer, onReady func(string)) error {
 	hdmm.SetWorkers(cfg.workers)
-	srv, err := hdmm.NewServer(hdmm.ServerConfig{CacheDir: cfg.cache, SnapshotDir: cfg.snapDir, Workers: cfg.workers, SolveMaxIter: cfg.solveMaxIter})
+	format, level := cfg.logFormat, cfg.logLevel
+	if format == "" {
+		format = "text"
+	}
+	if level == "" {
+		level = "info"
+	}
+	logger, err := obs.NewLogger(stderr, format, level)
+	if err != nil {
+		return usageError(err.Error())
+	}
+	srv, err := hdmm.NewServer(hdmm.ServerConfig{
+		CacheDir:             cfg.cache,
+		SnapshotDir:          cfg.snapDir,
+		Workers:              cfg.workers,
+		SolveMaxIter:         cfg.solveMaxIter,
+		Logger:               logger,
+		SlowRequestThreshold: cfg.slowReq,
+	})
 	if err != nil {
 		return err
+	}
+	if cfg.pprofAddr != "" {
+		// The profiling endpoint binds its own listener — typically a
+		// loopback address — so exposing the API never exposes pprof. An
+		// explicit mux rather than DefaultServeMux: nothing else this
+		// process registers can leak onto the profiling port.
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("binding pprof listener: %w", err)
+		}
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		defer pprofSrv.Close()
+		go func() { _ = pprofSrv.Serve(pln) }()
+		fmt.Fprintf(stderr, "hdmm: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	// Bind before pre-registration: a busy or invalid address is the most
 	// common daemon startup failure, and discovering it AFTER minutes of

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lsmr"
 	"repro/internal/marginals"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -304,6 +305,11 @@ type ReconstructOptions struct {
 	NoPrecond bool
 	// Info, when non-nil, receives the solve diagnostics.
 	Info *SolveInfo
+	// Trace, when non-nil, receives stage spans for the reconstruction:
+	// StagePrecondition covering the preconditioner build (cached after the
+	// first reconstruction of a strategy, so later spans are ~0) and
+	// StageSolve covering the LSMR solve. Nil-safe and allocation-free.
+	Trace *obs.Trace
 }
 
 // precond builds (once) the right-preconditioned operator pair: the
@@ -504,7 +510,10 @@ func (s *UnionStrategy) ReconstructOpt(y []float64, opts ReconstructOptions) ([]
 	solveOp := kron.Linear(op)
 	var pcM pcApplier
 	if !opts.NoPrecond {
-		if pcStack, m := s.precond(); pcStack != nil {
+		opts.Trace.Begin(obs.StagePrecondition)
+		pcStack, m := s.precond()
+		opts.Trace.End(obs.StagePrecondition)
+		if pcStack != nil {
 			solveOp, pcM = pcStack, m
 		}
 	}
@@ -525,7 +534,7 @@ func (s *UnionStrategy) ReconstructOpt(y []float64, opts ReconstructOptions) ([]
 		rhs = r0
 	}
 
-	res := lsmr.Solve(solveOp, rhs, lsmr.Options{MaxIter: opts.MaxIter, Workspace: ws})
+	res := lsmr.Solve(solveOp, rhs, lsmr.Options{MaxIter: opts.MaxIter, Workspace: ws, Trace: opts.Trace})
 	x := res.X
 	if pcM != nil {
 		z := x

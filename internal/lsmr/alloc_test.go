@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/kron"
+	"repro/internal/obs"
 )
 
 // TestSolveAllocsIndependentOfIterations asserts the reconstruction-side
@@ -47,5 +48,49 @@ func TestSolveAllocsIndependentOfIterations(t *testing.T) {
 	long := testing.AllocsPerRun(5, func() { solve(200) })
 	if long > short {
 		t.Errorf("200-iteration solve allocates %v, 10-iteration solve %v — allocations grow with iterations", long, short)
+	}
+}
+
+// TestTracedSolveAddsNoAllocs pins the observability contract on the hot
+// path: attaching a trace to a solve adds exactly zero allocations (the
+// StageSolve observation lives outside the iteration loop and records into
+// fixed-size storage), and the numerical result is bit-identical.
+func TestTracedSolveAddsNoAllocs(t *testing.T) {
+	prev := kron.SetWorkers(1)
+	defer kron.SetWorkers(prev)
+
+	rng := rand.New(rand.NewPCG(5, 11))
+	s := kron.NewStack([]kron.Linear{
+		kron.NewProduct(randMat(rng, 9, 8), randMat(rng, 40, 32)),
+		kron.NewProduct(randMat(rng, 7, 8), randMat(rng, 36, 32)),
+	}, []float64{0.6, 0.4})
+	rows, _ := s.Dims()
+	b := make([]float64, rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ws := kron.NewWorkspace()
+	tr := obs.NewTrace("alloc")
+	base := Options{MaxIter: 50, Atol: 1e-300, Btol: 1e-300, Workspace: ws}
+	traced := base
+	traced.Trace = tr
+
+	plainRes := Solve(s, b, base)
+	tracedRes := Solve(s, b, traced)
+	for i, v := range plainRes.X {
+		if tracedRes.X[i] != v {
+			t.Fatalf("traced solve diverged at %d: %v vs %v", i, tracedRes.X[i], v)
+		}
+	}
+
+	plain := testing.AllocsPerRun(5, func() { Solve(s, b, base) })
+	withTrace := testing.AllocsPerRun(5, func() { Solve(s, b, traced) })
+	if withTrace > plain {
+		t.Errorf("traced solve allocates %v, untraced %v — tracing must add 0", withTrace, plain)
+	}
+
+	spans := tr.Spans()
+	if len(spans) == 0 || spans[0].Stage != obs.StageSolve || spans[0].Total <= 0 {
+		t.Errorf("trace recorded %+v, want a positive solve span", spans)
 	}
 }

@@ -15,8 +15,10 @@ package lsmr
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/kron"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -63,6 +65,11 @@ type Options struct {
 	// allocations regardless of iteration count. nil borrows a pooled
 	// workspace for the duration of the solve.
 	Workspace *kron.Workspace
+	// Trace, when non-nil, receives one StageSolve observation covering the
+	// whole solve (the batch, for SolveBatch). The hook is outside the
+	// iteration loop and allocation-free, so a traced solve performs exactly
+	// the allocations of an untraced one.
+	Trace *obs.Trace
 }
 
 // withDefaults resolves the zero-value defaults against the problem size.
@@ -193,6 +200,18 @@ func (r *recurrence) estimate(alpha, beta, normx float64, iter int, atol, btol f
 
 // Solve finds the minimum-norm least-squares solution of A·x ≈ b.
 func Solve(a kron.Linear, b []float64, opts Options) Result {
+	if opts.Trace == nil {
+		return solve(a, b, opts)
+	}
+	// The observation brackets the whole solve from outside the body — no
+	// defer closure, no per-iteration work, zero allocations added.
+	start := time.Now()
+	res := solve(a, b, opts)
+	opts.Trace.Observe(obs.StageSolve, time.Since(start))
+	return res
+}
+
+func solve(a kron.Linear, b []float64, opts Options) Result {
 	rows, cols := a.Dims()
 	if len(b) != rows {
 		panic("lsmr: rhs length mismatch")
@@ -318,7 +337,18 @@ func Solve(a kron.Linear, b []float64, opts Options) Result {
 // independent of the rest of the batch). Operators without a multi-RHS path,
 // and batches of one, fall back to looped Solve calls. Options.X0 is not
 // supported here (warm-start each system through Solve instead) and panics.
+// A non-nil Options.Trace records one StageSolve span for the whole batch.
 func SolveBatch(a kron.Linear, bs [][]float64, opts Options) []Result {
+	if opts.Trace == nil {
+		return solveBatch(a, bs, opts)
+	}
+	start := time.Now()
+	out := solveBatch(a, bs, opts)
+	opts.Trace.Observe(obs.StageSolve, time.Since(start))
+	return out
+}
+
+func solveBatch(a kron.Linear, bs [][]float64, opts Options) []Result {
 	if opts.X0 != nil {
 		panic("lsmr: SolveBatch does not support X0; warm-start per system via Solve")
 	}
@@ -330,7 +360,10 @@ func SolveBatch(a kron.Linear, bs [][]float64, opts Options) []Result {
 	if !isMulti || k == 1 {
 		out := make([]Result, k)
 		for j, b := range bs {
-			out[j] = Solve(a, b, opts)
+			// The unwrapped body: the batch's single StageSolve observation
+			// already covers the loop, so per-system observes would double
+			// count.
+			out[j] = solve(a, b, opts)
 		}
 		return out
 	}

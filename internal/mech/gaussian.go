@@ -1,12 +1,15 @@
 package mech
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/kron"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // The paper's techniques extend to (ε,δ)-differential privacy via the
@@ -112,5 +115,16 @@ func MeasureGaussian(a kron.Linear, x []float64, eps, delta float64, rng *rand.R
 	for i := range y {
 		y[i] += rng.NormFloat64() * sigma
 	}
+	return y
+}
+
+// MeasureGaussianCtx is MeasureGaussian with a trace hook: any obs.Trace
+// carried by ctx receives one StageMeasure observation. As with MeasureCtx,
+// the measurement never aborts mid-way — callers cancel before it.
+func MeasureGaussianCtx(ctx context.Context, a kron.Linear, x []float64, eps, delta float64, rng *rand.Rand) []float64 {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
+	y := MeasureGaussian(a, x, eps, delta, rng)
+	tr.Observe(obs.StageMeasure, time.Since(start))
 	return y
 }

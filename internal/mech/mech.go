@@ -6,16 +6,19 @@
 package mech
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"reflect"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kron"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 )
@@ -94,6 +97,18 @@ func Measure(a kron.Linear, x []float64, eps float64, rng *rand.Rand) []float64 
 	for i := range y {
 		y[i] += Laplace(rng, b)
 	}
+	return y
+}
+
+// MeasureCtx is Measure with a trace hook: any obs.Trace carried by ctx
+// receives one StageMeasure observation. The measurement itself is never
+// interrupted mid-way — once noise is being drawn the privacy budget is
+// committed, so callers cancel BEFORE this call, not during it.
+func MeasureCtx(ctx context.Context, a kron.Linear, x []float64, eps float64, rng *rand.Rand) []float64 {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
+	y := Measure(a, x, eps, rng)
+	tr.Observe(obs.StageMeasure, time.Since(start))
 	return y
 }
 
@@ -225,7 +240,33 @@ func scaleAnswer(ans []float64, w float64) {
 // worker count; grouping keys on instance identity, so structurally equal
 // but distinct instances are simply evaluated separately.
 func AnswerBatch(products []workload.Product, x []float64, workers int) ([][]float64, error) {
-	return answerBatch(products, x, workers, false)
+	return answerBatch(context.Background(), products, x, workers, false)
+}
+
+// AnswerBatchCtx is AnswerBatch with cancellation and tracing: each
+// contraction group checks ctx before evaluating, so a cancelled context —
+// a disconnected HTTP client, a deadline — stops the batch after the group
+// in flight instead of burning CPU through hundreds of remaining GEMM
+// sweeps. On cancellation the error satisfies errors.Is(err, ctx.Err()).
+// Any obs.Trace carried by ctx receives one StageAnswer observation. For an
+// uncancellable background context the per-group check is a nil-channel
+// select — the path is byte- and allocation-identical to AnswerBatch.
+func AnswerBatchCtx(ctx context.Context, products []workload.Product, x []float64, workers int) ([][]float64, error) {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
+	out, err := answerBatch(ctx, products, x, workers, false)
+	tr.Observe(obs.StageAnswer, time.Since(start))
+	return out, err
+}
+
+// AnswerBatchSharedCtx is AnswerBatchShared with the cancellation and
+// tracing semantics of AnswerBatchCtx.
+func AnswerBatchSharedCtx(ctx context.Context, products []workload.Product, x []float64, workers int) ([][]float64, error) {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
+	out, err := answerBatch(ctx, products, x, workers, true)
+	tr.Observe(obs.StageAnswer, time.Since(start))
+	return out, err
 }
 
 // AnswerBatchShared is AnswerBatch for read-only consumers: slots of
@@ -235,17 +276,23 @@ func AnswerBatch(products []workload.Product, x []float64, workers int) ([][]flo
 // daemon uses this — a batch of hundreds of repeated specs costs one
 // contraction and zero copies.
 func AnswerBatchShared(products []workload.Product, x []float64, workers int) ([][]float64, error) {
-	return answerBatch(products, x, workers, true)
+	return answerBatch(context.Background(), products, x, workers, true)
 }
 
-func answerBatch(products []workload.Product, x []float64, workers int, shared bool) ([][]float64, error) {
+func answerBatch(ctx context.Context, products []workload.Product, x []float64, workers int, shared bool) ([][]float64, error) {
 	reps, members := groupByFactorSet(products)
 
 	type slot struct {
 		ans []float64
 		err error
 	}
+	done := ctx.Done() // nil for Background: the select below never fires
 	base := parallel.Map(workers, len(reps), func(g int) slot {
+		select {
+		case <-done:
+			return slot{nil, ctx.Err()}
+		default:
+		}
 		ans, err := answerUnweighted(products[reps[g]], x)
 		return slot{ans, err}
 	})
@@ -253,6 +300,12 @@ func answerBatch(products []workload.Product, x []float64, workers int, shared b
 	out := make([][]float64, len(products))
 	for g, sl := range base {
 		if sl.err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && sl.err == ctxErr {
+				// Cancellation is the caller's own signal, not a batch
+				// failure: return it bare so errors.Is(err, context.Canceled)
+				// holds without unwrapping product decoration.
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("product %d: %w", reps[g], sl.err)
 		}
 		rep := reps[g]

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBounds returns the fixed log-spaced bucket upper bounds
+// (seconds) used for every latency and stage-duration histogram: 100µs
+// doubling through ~209s (22 finite buckets plus the implicit +Inf). The
+// spacing gives ~±50% resolution at every scale from sub-millisecond
+// answer calls to multi-minute optimizations, and the fixed set keeps the
+// exposition deterministic: every scrape of every daemon emits exactly the
+// same bucket boundaries in the same order.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 22)
+	b := 1e-4
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram: counts per bucket plus exact
+// count/sum/max. Unlike the count/sum pair it replaces, a scrape can
+// derive p50/p95/p99 from it — and because the buckets are fixed at
+// construction, merging across scrapes and across daemons is sound.
+// Observe is safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // immutable, strictly increasing upper bounds
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; the last is the +Inf overflow bucket
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given strictly-increasing
+// upper bounds (nil selects DefaultLatencyBounds).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v <= %v", i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value (negative values clamp to zero). It performs
+// no allocation.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bucket with bound >= v (le semantics)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []float64 // bucket upper bounds (le), ascending; +Inf implicit
+	Counts []uint64  // per-bucket counts; len(Bounds)+1, last is overflow
+	Count  uint64
+	Sum    float64
+	Max    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Max:    h.max,
+	}
+}
+
+// Mean returns the exact mean of the observed values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in (0,1], e.g. 0.99) by linear
+// interpolation inside the covering bucket — the same estimator Prometheus
+// applies to histogram buckets, so the daemon's own p99 and a scraper's
+// agree. Values in the +Inf overflow bucket resolve to the tracked exact
+// max. Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Max // overflow bucket: the exact max is the best bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		est := lo + (hi-lo)*(target-prev)/float64(c)
+		if est > s.Max {
+			est = s.Max // interpolation cannot exceed the observed max
+		}
+		return est
+	}
+	return s.Max
+}
+
+// formatBound renders a bucket bound exactly and tersely (shortest
+// round-tripping decimal), keeping the exposition byte-deterministic.
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// WriteSeries writes the snapshot as Prometheus text-exposition series:
+// cumulative name_bucket{...,le="..."} lines for every bound plus +Inf,
+// then name_sum and name_count. labels is the pre-rendered label list
+// without braces ("" for none, `stage="solve"` otherwise); the caller owns
+// the one-per-metric # HELP/# TYPE header. Output is byte-deterministic
+// for a given state.
+func (s HistSnapshot) WriteSeries(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", name, s.Sum, name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %v\n%s_count{%s} %d\n", name, labels, s.Sum, name, labels, s.Count)
+	}
+}

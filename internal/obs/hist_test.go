@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDefaultLatencyBounds pins the fixed bucket boundaries: log-spaced
+// (doubling) from 100µs, 22 finite buckets, strictly increasing. The
+// bounds are part of the exposition contract — dashboards and recording
+// rules bake them in — so a change here must be deliberate.
+func TestDefaultLatencyBounds(t *testing.T) {
+	b := DefaultLatencyBounds()
+	if len(b) != 22 {
+		t.Fatalf("got %d bounds, want 22", len(b))
+	}
+	if b[0] != 1e-4 {
+		t.Errorf("first bound %v, want 1e-4", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[i-1]*2 {
+			t.Errorf("bound %d = %v, want double of %v", i, b[i], b[i-1])
+		}
+	}
+	if last := b[len(b)-1]; last < 100 || last > 1000 {
+		t.Errorf("last bound %v s, want a multi-minute cap in (100, 1000)", last)
+	}
+}
+
+// TestHistogramBucketPlacement exercises le semantics at the boundaries:
+// a value exactly on a bound lands in that bound's bucket (v <= le), one
+// ulp above lands in the next, and values past the last bound land in the
+// +Inf overflow bucket.
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0)                              // bucket 0 (le=1)
+	h.Observe(1)                              // bucket 0: v == bound stays
+	h.Observe(math.Nextafter(1, math.Inf(1))) // bucket 1
+	h.Observe(4)                              // bucket 2
+	h.Observe(4.5)                            // overflow
+	h.Observe(-3)                             // clamps to 0, bucket 0
+	s := h.Snapshot()
+	want := []uint64{3, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d count %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count %d, want 6", s.Count)
+	}
+	if s.Max != 4.5 {
+		t.Errorf("max %v, want 4.5", s.Max)
+	}
+	if s.Sum != 0+1+math.Nextafter(1, math.Inf(1))+4+4.5+0 {
+		t.Errorf("sum %v wrong", s.Sum)
+	}
+}
+
+// TestHistogramExpositionDeterministic renders the same state twice and
+// pins the exact byte output: cumulative buckets in ascending le order,
+// +Inf last, then sum and count, labels verbatim.
+func TestHistogramExpositionDeterministic(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+	var a, b strings.Builder
+	h.Snapshot().WriteSeries(&a, "x_seconds", `stage="solve"`)
+	h.Snapshot().WriteSeries(&b, "x_seconds", `stage="solve"`)
+	if a.String() != b.String() {
+		t.Fatalf("two renders differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	want := `x_seconds_bucket{stage="solve",le="0.001"} 1
+x_seconds_bucket{stage="solve",le="0.01"} 2
+x_seconds_bucket{stage="solve",le="+Inf"} 3
+x_seconds_sum{stage="solve"} 5.0025
+x_seconds_count{stage="solve"} 3
+`
+	if a.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", a.String(), want)
+	}
+
+	var unlabeled strings.Builder
+	h.Snapshot().WriteSeries(&unlabeled, "y", "")
+	if got := unlabeled.String(); !strings.Contains(got, `y_bucket{le="0.001"} 1`) || !strings.Contains(got, "y_count 3") {
+		t.Errorf("unlabeled exposition wrong:\n%s", got)
+	}
+}
+
+// TestQuantileKnownDistribution feeds 10_000 uniform samples on [0, 1] s
+// and checks the interpolated quantiles against the true values within
+// one bucket's relative width (the estimator's resolution).
+func TestQuantileKnownDistribution(t *testing.T) {
+	h := NewHistogram(nil)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for i := 0; i < 10000; i++ {
+		h.Observe(rng.Float64())
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.5}, {0.95, 0.95}, {0.99, 0.99},
+	} {
+		got := s.Quantile(tc.q)
+		// Doubling buckets: the estimate is exact to within the covering
+		// bucket, whose width is at most the true value itself.
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%v = %v, want within (%v, %v)", tc.q, got, tc.want/2, tc.want*2)
+		}
+	}
+	if s.Quantile(1) > s.Max {
+		t.Errorf("q1 = %v exceeds max %v", s.Quantile(1), s.Max)
+	}
+}
+
+// TestQuantileEdgeCases covers the empty histogram, the overflow bucket
+// (resolves to the exact max), and single observations.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram q50 = %v, want 0", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Snapshot().Quantile(0.99); got != 100 {
+		t.Errorf("overflow q99 = %v, want the exact max 100", got)
+	}
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(1.5)
+	if got := h2.Snapshot().Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("single-sample q50 = %v, want inside its bucket (1, 2]", got)
+	}
+	if got := h2.Snapshot().Mean(); got != 1.5 {
+		t.Errorf("mean %v, want exact 1.5", got)
+	}
+}
+
+// TestObserveDuration checks the seconds conversion.
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(250 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Sum != 0.25 {
+		t.Errorf("sum %v, want 0.25", s.Sum)
+	}
+}
+
+// TestHistogramObserveAllocs pins the hot-path contract: recording a
+// value allocates nothing.
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(nil)
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(0.01) }); allocs != 0 {
+		t.Errorf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestBadBoundsPanic pins the constructor's validation.
+func TestBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

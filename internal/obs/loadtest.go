@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures one open-loop load run.
+type LoadOptions struct {
+	// Rate is the mean arrival rate in requests per second. Arrivals form
+	// a Poisson process: inter-arrival gaps are exponential, so the run
+	// exercises the bursts a constant-interval generator never produces.
+	Rate float64
+	// Duration is the arrival window. Requests in flight when it closes
+	// are drained and counted.
+	Duration time.Duration
+	// Seed seeds the inter-arrival RNG (0 = a fixed default stream), so a
+	// load run is reproducible arrival-for-arrival.
+	Seed uint64
+	// MaxInFlight caps concurrent requests (0 = 1024). The generator is
+	// open-loop — arrivals never wait for completions, which is what makes
+	// the measured latency honest under saturation — but a saturated
+	// server would otherwise accumulate goroutines without bound; arrivals
+	// that find the cap exhausted are dropped and reported, never
+	// silently queued.
+	MaxInFlight int
+}
+
+// LoadResult reports one open-loop run.
+type LoadResult struct {
+	TargetRate   float64       // configured arrival rate (req/s)
+	Offered      int           // arrivals the Poisson schedule generated
+	Requests     int           // requests completed (success + error)
+	Errors       int           // requests whose do() returned an error
+	Dropped      int           // arrivals dropped at the MaxInFlight cap
+	Elapsed      time.Duration // arrival-window open → last completion
+	AchievedRate float64       // Requests / Elapsed, in req/s
+	Latency      HistSnapshot  // per-request latency (seconds)
+	P50          time.Duration
+	P95          time.Duration
+	P99          time.Duration
+	Max          time.Duration
+}
+
+// RunLoad drives do with open-loop Poisson arrivals at opts.Rate for
+// opts.Duration and reports throughput and latency percentiles from the
+// same fixed-bucket histogram the daemon's /metrics uses. Latency is
+// measured from each request's *scheduled* arrival time, so scheduling
+// delay under saturation is charged to the server, not hidden
+// (coordinated-omission-free). Cancelling ctx stops the arrival schedule
+// early; in-flight requests drain.
+func RunLoad(ctx context.Context, opts LoadOptions, do func(context.Context) error) (*LoadResult, error) {
+	if opts.Rate <= 0 {
+		return nil, fmt.Errorf("obs: loadtest rate must be positive, got %v", opts.Rate)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("obs: loadtest duration must be positive, got %v", opts.Duration)
+	}
+	inFlight := opts.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = 1024
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x10ad7e57
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x10ad))
+
+	hist := NewHistogram(nil)
+	sem := make(chan struct{}, inFlight)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	res := &LoadResult{TargetRate: opts.Rate}
+
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	next := start
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+arrivals:
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break arrivals
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		res.Offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			res.Dropped++ // open loop: never queue behind the cap
+			continue
+		}
+		wg.Add(1)
+		scheduled := next
+		go func() {
+			defer wg.Done()
+			err := do(ctx)
+			hist.ObserveDuration(time.Since(scheduled))
+			if err != nil {
+				errs.Add(1)
+			}
+			<-sem
+		}()
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.Errors = int(errs.Load())
+	res.Latency = hist.Snapshot()
+	res.Requests = int(res.Latency.Count)
+	if res.Elapsed > 0 {
+		res.AchievedRate = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	res.P50 = secondsToDuration(res.Latency.Quantile(0.50))
+	res.P95 = secondsToDuration(res.Latency.Quantile(0.95))
+	res.P99 = secondsToDuration(res.Latency.Quantile(0.99))
+	res.Max = secondsToDuration(res.Latency.Max)
+	return res, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// SaturationOptions configures a saturation search.
+type SaturationOptions struct {
+	// Load is the per-step configuration; Load.Rate is the starting rate
+	// and Load.Duration the per-step window.
+	Load LoadOptions
+	// Factor multiplies the rate between steps (default 2).
+	Factor float64
+	// MaxSteps bounds the search (default 8).
+	MaxSteps int
+	// P99Bound is the latency bound that defines saturation: the search
+	// stops after the first step whose p99 exceeds it.
+	P99Bound time.Duration
+}
+
+// SaturationSearch steps the arrival rate up by Factor per round until a
+// round's p99 exceeds P99Bound (or requests start failing or being
+// dropped, or MaxSteps rounds complete), returning every round's result in
+// order. The last result is the first saturated round, if saturation was
+// reached.
+func SaturationSearch(ctx context.Context, opts SaturationOptions, do func(context.Context) error) ([]*LoadResult, error) {
+	if opts.P99Bound <= 0 {
+		return nil, fmt.Errorf("obs: saturation search needs a positive P99Bound, got %v", opts.P99Bound)
+	}
+	factor := opts.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	steps := opts.MaxSteps
+	if steps <= 0 {
+		steps = 8
+	}
+	load := opts.Load
+	var out []*LoadResult
+	for i := 0; i < steps && ctx.Err() == nil; i++ {
+		r, err := RunLoad(ctx, load, do)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		if r.P99 > opts.P99Bound || r.Errors > 0 || r.Dropped > 0 {
+			break
+		}
+		load.Rate *= factor
+	}
+	return out, nil
+}

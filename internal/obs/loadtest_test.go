@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunLoadKnownLatency drives a do() with a fixed service time and
+// checks the reported percentiles land in the right histogram
+// neighborhood, the error count is exact, and the achieved rate tracks
+// the target.
+func TestRunLoadKnownLatency(t *testing.T) {
+	var n atomic.Int64
+	res, err := RunLoad(context.Background(), LoadOptions{Rate: 200, Duration: 500 * time.Millisecond, Seed: 42},
+		func(context.Context) error {
+			time.Sleep(5 * time.Millisecond)
+			if n.Add(1)%10 == 0 {
+				return errors.New("synthetic failure")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 50 {
+		t.Fatalf("only %d requests completed at 200/s over 500ms", res.Requests)
+	}
+	if res.Offered < res.Requests {
+		t.Errorf("offered %d < completed %d", res.Offered, res.Requests)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d at trivial concurrency", res.Dropped)
+	}
+	// Every 10th request errors: expect Requests/10 ± 1.
+	wantErrs := res.Requests / 10
+	if res.Errors < wantErrs-1 || res.Errors > wantErrs+1 {
+		t.Errorf("errors %d, want ~%d", res.Errors, wantErrs)
+	}
+	// 5ms service time: p50 within the covering doubling bucket, and the
+	// ordering p50 <= p95 <= p99 <= max holds.
+	if res.P50 < 2*time.Millisecond || res.P50 > 30*time.Millisecond {
+		t.Errorf("p50 %v, want ~5ms", res.P50)
+	}
+	if res.P50 > res.P95 || res.P95 > res.P99 || res.P99 > res.Max {
+		t.Errorf("percentile ordering violated: p50=%v p95=%v p99=%v max=%v", res.P50, res.P95, res.P99, res.Max)
+	}
+	if res.AchievedRate < 100 || res.AchievedRate > 400 {
+		t.Errorf("achieved rate %v req/s, want near the 200 target", res.AchievedRate)
+	}
+}
+
+// TestRunLoadPercentileMath uses a bimodal distribution — 90% fast, 10%
+// 20x slower — where p50 and p99 must separate into different modes.
+func TestRunLoadPercentileMath(t *testing.T) {
+	var n atomic.Int64
+	res, err := RunLoad(context.Background(), LoadOptions{Rate: 300, Duration: 600 * time.Millisecond, Seed: 7},
+		func(context.Context) error {
+			if n.Add(1)%10 == 0 {
+				time.Sleep(40 * time.Millisecond)
+			} else {
+				time.Sleep(2 * time.Millisecond)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+	if res.P50 > 15*time.Millisecond {
+		t.Errorf("p50 %v sits in the slow mode, want the ~2ms fast mode", res.P50)
+	}
+	if res.P99 < 20*time.Millisecond {
+		t.Errorf("p99 %v missed the ~40ms slow mode", res.P99)
+	}
+}
+
+// TestRunLoadOpenLoopDrops: with MaxInFlight 1 and a service time much
+// longer than the inter-arrival gap, the open-loop generator must drop
+// excess arrivals (and report them) instead of queueing — queueing would
+// be a closed loop and would understate latency.
+func TestRunLoadOpenLoopDrops(t *testing.T) {
+	res, err := RunLoad(context.Background(), LoadOptions{Rate: 500, Duration: 200 * time.Millisecond, Seed: 3, MaxInFlight: 1},
+		func(context.Context) error {
+			time.Sleep(50 * time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("no drops at 500/s against a 50ms single-slot server")
+	}
+	if res.Requests+res.Dropped != res.Offered {
+		t.Errorf("offered %d != completed %d + dropped %d", res.Offered, res.Requests, res.Dropped)
+	}
+}
+
+// TestRunLoadCancel: cancelling the context stops the arrival schedule
+// promptly and still drains in-flight requests.
+func TestRunLoadCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	start := time.Now()
+	res, err := RunLoad(ctx, LoadOptions{Rate: 100, Duration: 10 * time.Second, Seed: 1},
+		func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancel took %v to stop a 10s schedule", elapsed)
+	}
+	if res.Requests == 0 {
+		t.Error("no requests completed before cancel")
+	}
+}
+
+// TestRunLoadValidation: bad options error out.
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadOptions{Rate: 0, Duration: time.Second}, nil); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadOptions{Rate: 1, Duration: 0}, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// TestSaturationSearch: a do() whose latency explodes past a threshold
+// rate must terminate the search with the last round saturated, and the
+// rate ladder must be multiplicative.
+func TestSaturationSearch(t *testing.T) {
+	slow := atomic.Bool{}
+	rounds, err := SaturationSearch(context.Background(), SaturationOptions{
+		Load:     LoadOptions{Rate: 50, Duration: 150 * time.Millisecond, Seed: 5},
+		Factor:   2,
+		MaxSteps: 6,
+		P99Bound: 20 * time.Millisecond,
+	}, func(context.Context) error {
+		if slow.Load() {
+			time.Sleep(40 * time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) < 1 {
+		t.Fatal("no rounds ran")
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].TargetRate != rounds[i-1].TargetRate*2 {
+			t.Errorf("round %d rate %v, want double of %v", i, rounds[i].TargetRate, rounds[i-1].TargetRate)
+		}
+	}
+
+	// Second search with the latency bomb armed from the start: the very
+	// first round must saturate and stop the ladder.
+	slow.Store(true)
+	rounds, err = SaturationSearch(context.Background(), SaturationOptions{
+		Load:     LoadOptions{Rate: 50, Duration: 150 * time.Millisecond, Seed: 5},
+		MaxSteps: 6,
+		P99Bound: 20 * time.Millisecond,
+	}, func(context.Context) error {
+		time.Sleep(40 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 {
+		t.Errorf("saturated search ran %d rounds, want 1", len(rounds))
+	}
+	if last := rounds[len(rounds)-1]; last.P99 <= 20*time.Millisecond {
+		t.Errorf("final round p99 %v, want above the 20ms bound", last.P99)
+	}
+
+	if _, err := SaturationSearch(context.Background(), SaturationOptions{}, nil); err == nil {
+		t.Error("missing P99Bound accepted")
+	}
+}

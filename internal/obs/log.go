@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemon's structured logger on log/slog. format is
+// "text" (human-readable key=value, the default) or "json" (one JSON
+// object per line, for log pipelines); level is one of "debug", "info",
+// "warn", "error". Both are matched case-insensitively. The logger is what
+// replaces every stdlib log.Printf in the serving layer: each line carries
+// typed attributes — most importantly the request ID — instead of
+// interpolated prose.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}

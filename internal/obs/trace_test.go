@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestStageNames pins the stage set and its pipeline order — the wire
+// contract of /metrics labels and EngineInfo stage breakdowns.
+func TestStageNames(t *testing.T) {
+	want := []string{"parse", "optimize", "measure", "precondition", "solve", "answer"}
+	if NumStages != len(want) {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+	for i, name := range want {
+		if got := Stage(i).String(); got != name {
+			t.Errorf("stage %d = %q, want %q", i, got, name)
+		}
+	}
+	if got := Stage(200).String(); got != "unknown" {
+		t.Errorf("out-of-range stage = %q, want unknown", got)
+	}
+}
+
+// TestSpanAttribution checks the exclusive-time contract: a nested span's
+// wall time is charged to the inner stage and excluded from the outer, so
+// stage totals sum to (at most) the request's wall time without double
+// counting.
+func TestSpanAttribution(t *testing.T) {
+	tr := NewTrace("r1")
+	tr.Begin(StageOptimize)
+	time.Sleep(30 * time.Millisecond)
+	tr.Begin(StageSolve)
+	time.Sleep(30 * time.Millisecond)
+	tr.End(StageSolve)
+	tr.End(StageOptimize)
+
+	spans := map[Stage]Span{}
+	for _, sp := range tr.Spans() {
+		spans[sp.Stage] = sp
+	}
+	solve, opt := spans[StageSolve], spans[StageOptimize]
+	if solve.Count != 1 || opt.Count != 1 {
+		t.Fatalf("counts solve=%d optimize=%d, want 1/1", solve.Count, opt.Count)
+	}
+	if solve.Total < 25*time.Millisecond {
+		t.Errorf("solve total %v, want >= ~30ms", solve.Total)
+	}
+	// The key assertion: optimize's exclusive time excludes the nested
+	// solve span — ~30ms, not ~60ms.
+	if opt.Total < 25*time.Millisecond || opt.Total > 50*time.Millisecond {
+		t.Errorf("optimize exclusive total %v, want ~30ms (nested solve excluded)", opt.Total)
+	}
+}
+
+// TestObserveInsideOpenSpan checks that a direct Observe inside a
+// Begin/End window is excluded from the enclosing span, same as a nested
+// span — the contract that lets the LSMR solver self-report while the
+// engine brackets the whole reconstruction.
+func TestObserveInsideOpenSpan(t *testing.T) {
+	tr := NewTrace("r2")
+	tr.Begin(StageOptimize)
+	tr.Observe(StageSolve, 40*time.Millisecond) // synthetic: longer than real wall
+	tr.End(StageOptimize)
+
+	spans := map[Stage]Span{}
+	for _, sp := range tr.Spans() {
+		spans[sp.Stage] = sp
+	}
+	if got := spans[StageSolve].Total; got != 40*time.Millisecond {
+		t.Errorf("solve total %v, want exactly 40ms", got)
+	}
+	// The enclosing span's wall is microseconds while its child charge is
+	// 40ms; exclusive time clamps at zero rather than going negative.
+	if got := spans[StageOptimize].Total; got < 0 || got > 10*time.Millisecond {
+		t.Errorf("optimize exclusive total %v, want ~0 (child time excluded, clamped)", got)
+	}
+}
+
+// TestSpanAccumulation: repeated spans of one stage accumulate total and
+// count.
+func TestSpanAccumulation(t *testing.T) {
+	tr := NewTrace("r3")
+	tr.Observe(StageAnswer, 10*time.Millisecond)
+	tr.Observe(StageAnswer, 15*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Stage != StageAnswer || spans[0].Total != 25*time.Millisecond || spans[0].Count != 2 {
+		t.Errorf("got %+v, want answer/25ms/2", spans[0])
+	}
+}
+
+// TestUnmatchedEndIgnored: an End without a matching Begin (or for the
+// wrong stage) records nothing and does not corrupt the stack.
+func TestUnmatchedEndIgnored(t *testing.T) {
+	tr := NewTrace("r4")
+	tr.End(StageSolve) // no Begin at all
+	tr.Begin(StageParse)
+	tr.End(StageSolve) // wrong stage: ignored
+	tr.End(StageParse) // correct: records
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != StageParse {
+		t.Errorf("spans = %+v, want exactly one parse span", spans)
+	}
+}
+
+// TestNilTraceSafe: every method on a nil trace is a no-op — the form
+// every pipeline hook relies on when tracing is off.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin(StageSolve)
+	tr.End(StageSolve)
+	tr.Observe(StageMeasure, time.Second)
+	if tr.Spans() != nil || tr.ID() != "" || tr.Elapsed() != 0 {
+		t.Error("nil trace leaked state")
+	}
+}
+
+// TestTraceHooksZeroAlloc pins the hot-loop contract the solver and
+// kernels rely on: recording spans allocates nothing, on both the nil and
+// the live path.
+func TestTraceHooksZeroAlloc(t *testing.T) {
+	var nilTr *Trace
+	if a := testing.AllocsPerRun(100, func() {
+		nilTr.Begin(StageSolve)
+		nilTr.Observe(StageSolve, time.Millisecond)
+		nilTr.End(StageSolve)
+	}); a != 0 {
+		t.Errorf("nil-trace hooks allocate %v per run, want 0", a)
+	}
+	tr := NewTrace("hot")
+	if a := testing.AllocsPerRun(100, func() {
+		tr.Begin(StageSolve)
+		tr.Observe(StagePrecondition, time.Microsecond)
+		tr.End(StageSolve)
+	}); a != 0 {
+		t.Errorf("live-trace hooks allocate %v per run, want 0", a)
+	}
+}
+
+// TestContextRoundTrip: WithTrace/TraceFrom carry the trace; a bare
+// context yields nil.
+func TestContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Error("bare context returned a trace")
+	}
+	tr := NewTrace("ctx")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Errorf("TraceFrom = %p, want %p", got, tr)
+	}
+	if got := TraceFrom(ctx).ID(); got != "ctx" {
+		t.Errorf("ID through context = %q", got)
+	}
+}
+
+// TestDeepNestingOverflow: spans past the fixed stack depth still balance
+// (no corruption), and the trace keeps recording after unwinding.
+func TestDeepNestingOverflow(t *testing.T) {
+	tr := NewTrace("deep")
+	for i := 0; i < maxSpanDepth+3; i++ {
+		tr.Begin(StageParse)
+	}
+	for i := 0; i < maxSpanDepth+3; i++ {
+		tr.End(StageParse)
+	}
+	tr.Observe(StageAnswer, time.Millisecond)
+	spans := map[Stage]Span{}
+	for _, sp := range tr.Spans() {
+		spans[sp.Stage] = sp
+	}
+	if spans[StageParse].Count != maxSpanDepth {
+		t.Errorf("parse count %d, want %d (overflowed Begins accumulate nothing)", spans[StageParse].Count, maxSpanDepth)
+	}
+	if spans[StageAnswer].Count != 1 {
+		t.Error("trace stopped recording after overflow unwind")
+	}
+}
+
+// TestRequestIDs: NewRequestID is 16 hex chars and unique-ish; sanitize
+// accepts clean IDs and rejects hostile ones.
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("request IDs %q, %q: want 16 hex chars, distinct", a, b)
+	}
+	for _, ok := range []string{"abc-123", "X-Ray_7", "550e8400-e29b-41d4-a716-446655440000"} {
+		if SanitizeRequestID(ok) != ok {
+			t.Errorf("sanitize rejected clean ID %q", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "quote\"inside", "back\\slash", "ctrl\x01char",
+		string(make([]byte, maxRequestIDLen+1))} {
+		if got := SanitizeRequestID(bad); got != "" {
+			t.Errorf("sanitize accepted %q as %q", bad, got)
+		}
+	}
+}

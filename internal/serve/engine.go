@@ -10,12 +10,15 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/workload"
 )
@@ -82,6 +85,22 @@ type Engine struct {
 // opts.Delta for Gaussian), and reconstructs x̂. The result satisfies ε-DP
 // (δ=0) or (ε,δ)-DP.
 func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*Engine, error) {
+	return NewEngineCtx(context.Background(), w, x, eps, opts)
+}
+
+// NewEngineCtx is NewEngine with cancellation and tracing. Any obs.Trace
+// carried by ctx receives stage spans: StageOptimize covering strategy
+// resolution (registry hit or full optimization), StageMeasure for the
+// private measurement, StagePrecondition and StageSolve for the
+// reconstruction. Cancellation is checked before the two expensive
+// commitments — strategy optimization and the measurement — because a
+// client that is already gone should not cost an optimization, and above
+// all should not spend privacy budget nobody will read. Once the
+// measurement has run the budget is irrevocably consumed, so from that
+// point the engine is always completed and returned: aborting after
+// measurement would throw away paid-for state and invite a retry that
+// spends the budget again.
+func NewEngineCtx(ctx context.Context, w *workload.Workload, x []float64, eps float64, opts Options) (*Engine, error) {
 	// The comparisons must also catch NaN (every comparison with NaN is
 	// false, so `eps <= 0` alone would wave NaN through and poison every
 	// answer) and ±Inf (an infinite budget means zero noise — releasing
@@ -111,10 +130,17 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		}
 	}
 
+	tr := obs.TraceFrom(ctx)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err // gone before optimization: spend nothing
+	}
 	key := registry.Key(w, opts.Selection)
+	tr.Begin(obs.StageOptimize)
 	rec, fromCache, err := reg.GetOrCompute(key, func() (*registry.Record, error) {
 		return core.Select(w, opts.Selection) // registry.Record is core.Selected
 	})
+	tr.End(obs.StageOptimize)
 	if err != nil {
 		return nil, err
 	}
@@ -132,14 +158,19 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		return nil, fmt.Errorf("serve: cached strategy %s does not fit the workload (stale or foreign cache entry?): %w", key, err)
 	}
 	op := rec.Strategy.Operator()
+	// Last cancellation point: past here the measurement spends privacy
+	// budget, after which the engine is always finished and returned.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var y []float64
 	var rootMSE float64
 	if opts.Delta > 0 {
-		y = mech.MeasureGaussian(op, x, eps, opts.Delta, rng)
+		y = mech.MeasureGaussianCtx(ctx, op, x, eps, opts.Delta, rng)
 		sigma := mech.GaussianSigma(mech.L2Sensitivity(op), eps, opts.Delta)
 		rootMSE = sigma * math.Sqrt(rec.Err/float64(w.NumQueries()))
 	} else {
-		y = mech.Measure(op, x, eps, rng)
+		y = mech.MeasureCtx(ctx, op, x, eps, rng)
 		rootMSE = math.Sqrt(2*rec.Err/float64(w.NumQueries())) / eps
 	}
 	// Union strategies run the iterative LSMR reconstruction; route them
@@ -154,9 +185,12 @@ func NewEngine(w *workload.Workload, x []float64, eps float64, opts Options) (*E
 		xhat, err = us.ReconstructOpt(y, core.ReconstructOptions{
 			MaxIter: opts.SolveMaxIter,
 			Info:    solve,
+			Trace:   tr,
 		})
 	} else {
+		start := time.Now()
 		xhat, err = rec.Strategy.Reconstruct(y)
+		tr.Observe(obs.StageSolve, time.Since(start))
 	}
 	if err != nil {
 		return nil, err
@@ -298,7 +332,16 @@ func (e *Engine) SolveInfo() *core.SolveInfo { return e.solve }
 // must span the engine's domain and have materializable per-attribute
 // predicate sets.
 func (e *Engine) Answer(products []workload.Product) ([][]float64, error) {
-	return e.answer(products, false)
+	return e.answerCtx(context.Background(), products, false)
+}
+
+// AnswerCtx is Answer with cancellation and tracing: a cancelled ctx stops
+// the batch between contraction groups (the error satisfies errors.Is(err,
+// ctx.Err())), and any obs.Trace carried by ctx receives a StageAnswer
+// span. Answering is privacy-free post-processing, so aborting it mid-way
+// is always safe.
+func (e *Engine) AnswerCtx(ctx context.Context, products []workload.Product) ([][]float64, error) {
+	return e.answerCtx(ctx, products, false)
 }
 
 // AnswerShared is Answer for read-only consumers: slots of exact-duplicate
@@ -308,10 +351,17 @@ func (e *Engine) Answer(products []workload.Product) ([][]float64, error) {
 // slices; the HTTP daemon, which serializes the response immediately,
 // answers through this path.
 func (e *Engine) AnswerShared(products []workload.Product) ([][]float64, error) {
-	return e.answer(products, true)
+	return e.answerCtx(context.Background(), products, true)
 }
 
-func (e *Engine) answer(products []workload.Product, shared bool) ([][]float64, error) {
+// AnswerSharedCtx is AnswerShared with the cancellation and tracing
+// semantics of AnswerCtx. The HTTP daemon answers through this path so a
+// disconnected client stops burning CPU mid-batch.
+func (e *Engine) AnswerSharedCtx(ctx context.Context, products []workload.Product) ([][]float64, error) {
+	return e.answerCtx(ctx, products, true)
+}
+
+func (e *Engine) answerCtx(ctx context.Context, products []workload.Product, shared bool) ([][]float64, error) {
 	for i, p := range products {
 		if err := e.validateProduct(p); err != nil {
 			return nil, fmt.Errorf("serve: product %d: %w", i, err)
@@ -320,11 +370,14 @@ func (e *Engine) answer(products []workload.Product, shared bool) ([][]float64, 
 	var out [][]float64
 	var err error
 	if shared {
-		out, err = mech.AnswerBatchShared(products, e.xhat, e.workers)
+		out, err = mech.AnswerBatchSharedCtx(ctx, products, e.xhat, e.workers)
 	} else {
-		out, err = mech.AnswerBatch(products, e.xhat, e.workers)
+		out, err = mech.AnswerBatchCtx(ctx, products, e.xhat, e.workers)
 	}
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			return nil, ctxErr // cancellation, undecorated (see AnswerCtx)
+		}
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	return out, nil

@@ -27,6 +27,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
@@ -35,14 +36,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/serve"
@@ -102,6 +106,14 @@ const DefaultMaxRestarts = 100
 // (~20 MB as JSON) per response.
 const DefaultMaxAnswerValues = 1 << 20
 
+// DefaultSlowRequestThreshold is the latency past which a request gets a
+// warn-level log line with its per-stage span breakdown, when
+// Config.SlowRequestThreshold is unset. One second separates "an answer
+// batch" (micro- to milliseconds) from "a registration that had to
+// optimize" — the requests whose internal breakdown an operator actually
+// wants in the log.
+const DefaultSlowRequestThreshold = time.Second
+
 // Config configures the HTTP answer-serving daemon.
 type Config struct {
 	// CacheDir is the on-disk strategy registry shared by every engine the
@@ -153,6 +165,14 @@ type Config struct {
 	// binds, registration fails with a 500 wrapping core.ErrNotConverged
 	// rather than serving answers from an unconverged estimate.
 	SolveMaxIter int
+	// Logger receives the daemon's structured logs (nil = text handler on
+	// os.Stderr at info level).
+	Logger *slog.Logger
+	// SlowRequestThreshold is the request latency past which the daemon
+	// logs a warn line with the request's per-stage span breakdown
+	// (0 = DefaultSlowRequestThreshold; negative disables slow-request
+	// logging entirely).
+	SlowRequestThreshold time.Duration
 }
 
 // Server is the HTTP answer-serving daemon. It implements http.Handler.
@@ -162,11 +182,36 @@ type Server struct {
 	pool   *serve.Pool
 	mux    *http.ServeMux
 	met    *metrics
-	secret [32]byte // key-derivation secret; persisted with the snapshots (see engineKey)
+	log    *slog.Logger
+	slow   time.Duration // slow-request log threshold (<= 0: disabled)
+	secret [32]byte      // key-derivation secret; persisted with the snapshots (see engineKey)
+
+	// regSpans remembers each fresh registration's stage-by-stage timing,
+	// keyed by engine key, for GET /v1/engines/{key} — "where did this
+	// tenant's registration spend its time" must remain answerable after
+	// the fact. Engines restored from snapshots have no entry (they ran no
+	// pipeline in this process).
+	regSpans sync.Map // string -> registrationTrace
 
 	// snaps is the durable engine store (nil when SnapshotDir is "" or the
 	// store could not be opened — the latter serves degraded from memory).
 	snaps *snapshot.Store
+}
+
+// registrationTrace is the retained breakdown of one fresh registration.
+type registrationTrace struct {
+	stages []StageTiming
+	wallMs float64
+}
+
+// StageTiming is one pipeline stage's share of a registration, reported in
+// EngineInfo.Stages. Ms is exclusive time: nested stages (the union solve
+// inside a registration, say) are not double-counted, so the stage values
+// sum to approximately the registration's wall time.
+type StageTiming struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+	Count int     `json:"count"`
 }
 
 // New builds a Server for cfg, backed by the process-wide shared registry
@@ -205,12 +250,25 @@ func NewWithRegistry(cfg Config, reg *registry.Registry) (*Server, error) {
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = DefaultMaxRestarts
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	slow := cfg.SlowRequestThreshold
+	switch {
+	case slow == 0:
+		slow = DefaultSlowRequestThreshold
+	case slow < 0:
+		slow = 0 // explicit opt-out
+	}
 	s := &Server{
 		cfg:  cfg,
 		reg:  reg,
 		pool: serve.NewPool(cfg.MaxEngines),
 		mux:  http.NewServeMux(),
 		met:  newMetrics(),
+		log:  logger,
+		slow: slow,
 	}
 	if _, err := crand.Read(s.secret[:]); err != nil {
 		return nil, fmt.Errorf("server: reading key-derivation secret: %w", err)
@@ -236,7 +294,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) openSnapshots(dir string) {
 	st, err := snapshot.Open(dir, nil)
 	if err != nil {
-		log.Printf("hdmm server: snapshot store unavailable, serving without durability: %v", err)
+		s.log.Error("snapshot store unavailable, serving without durability", "dir", dir, "err", err)
 		return // s.snaps stays nil; degraded() reports it
 	}
 	s.snaps = st
@@ -245,8 +303,8 @@ func (s *Server) openSnapshots(dir string) {
 	// recovered tenant derive a NEW key, miss the pool, and take a second
 	// measurement. Recovery itself is immune (snapshots store final keys).
 	if sec, err := st.LoadOrCreateSecret(); err != nil {
-		log.Printf("hdmm server: key-derivation secret unavailable, re-registrations will not reuse recovered engines: %v", err)
-		st.MarkDegraded()
+		s.log.Error("key-derivation secret unavailable, re-registrations will not reuse recovered engines", "err", err)
+		st.MarkDegraded("key-derivation secret unavailable")
 	} else {
 		s.secret = sec
 	}
@@ -258,23 +316,23 @@ func (s *Server) openSnapshots(dir string) {
 		if err := s.pool.Add(sn.Key, eng); err != nil {
 			// A full pool (limit shrank across the restart) is not a
 			// corrupt snapshot: leave the file for a roomier boot.
-			st.MarkDegraded()
+			st.MarkDegraded("engine pool full during snapshot recovery")
 			return snapshot.ErrSkip
 		}
 		// Re-seed the strategy registry so re-registrations and metadata
 		// lookups hit the cache. Best-effort: the engine is whole without
 		// it (the strategy rides inside the snapshot).
 		if err := s.reg.Put(sn.StrategyKey, sn.Record); err != nil {
-			log.Printf("hdmm server: re-seeding strategy %s: %v", sn.StrategyKey, err)
+			s.log.Warn("re-seeding strategy failed", "strategy_key", sn.StrategyKey, "err", err)
 		}
 		return nil
 	})
 	if err != nil {
-		log.Printf("hdmm server: snapshot recovery aborted, serving from memory: %v", err)
+		s.log.Error("snapshot recovery aborted, serving from memory", "err", err)
 		return
 	}
 	if n > 0 {
-		log.Printf("hdmm server: recovered %d engine(s) from %s", n, dir)
+		s.log.Info("recovered engines from snapshots", "engines", n, "dir", dir)
 	}
 }
 
@@ -288,6 +346,19 @@ func (s *Server) degraded() bool {
 		return false
 	}
 	return s.snaps == nil || s.snaps.Stats().Degraded
+}
+
+// degradedReason names WHY the daemon is degraded ("" when healthy): the
+// first event that latched the flag, which is the root cause an operator
+// needs — later failures usually cascade from it.
+func (s *Server) degradedReason() string {
+	if s.cfg.SnapshotDir == "" {
+		return ""
+	}
+	if s.snaps == nil {
+		return "snapshot store unavailable"
+	}
+	return s.snaps.Stats().DegradedReason
 }
 
 // RegisterRequest registers one tenant: a workload over a domain, the data
@@ -354,15 +425,26 @@ type EngineInfo struct {
 	SolverIters          int     `json:"solver_iters,omitempty"`
 	SolverResid          float64 `json:"solver_resid,omitempty"`
 	SolverPreconditioned bool    `json:"solver_preconditioned,omitempty"`
+	// Stages is the registration's stage-by-stage exclusive wall time and
+	// RegisterWallMs its total; omitted for engines rehydrated from
+	// snapshots, which ran no pipeline in this process.
+	Stages         []StageTiming `json:"stages,omitempty"`
+	RegisterWallMs float64       `json:"register_wall_ms,omitempty"`
 }
 
 // MetricsResponse is the /metrics document (JSON form; the endpoint
 // defaults to Prometheus text exposition and serves this shape when the
 // request Accepts application/json).
 type MetricsResponse struct {
+	Version       string                   `json:"version"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Engines       int                      `json:"engines"`
 	StrategyCache CacheStats               `json:"strategy_cache"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Stages reports the cumulative per-stage pipeline timing histograms as
+	// derived stats, one entry per stage in pipeline order (zero-valued for
+	// stages no request has exercised yet).
+	Stages []StageStats `json:"stages"`
 	// Solver reports the union-reconstruction LSMR counters; nil until a
 	// registration has run (or failed) an iterative union solve.
 	Solver *SolverStats `json:"solver,omitempty"`
@@ -372,6 +454,24 @@ type MetricsResponse struct {
 	// Degraded is true when durability is configured but not fully healthy
 	// (store unavailable, a failed persist, or quarantined snapshots).
 	Degraded bool `json:"degraded"`
+	// DegradedReason names the first event that latched the degraded flag
+	// ("" while healthy).
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	// Raw histogram snapshots backing the Prometheus exposition; carried
+	// unexported so the JSON document stays the derived-stats form.
+	endpointHists map[string]obs.HistSnapshot
+	stageHists    [obs.NumStages]obs.HistSnapshot
+}
+
+// StageStats is one pipeline stage's cumulative timing on /metrics (JSON
+// form; the Prometheus form exposes the full histogram buckets).
+type StageStats struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
 }
 
 // CacheStats reports the shared strategy registry's lookup counters.
@@ -397,6 +497,25 @@ func badRequest(format string, args ...any) error {
 // key and strategy provenance. It is the programmatic form of
 // POST /v1/engines, used by the CLI's pre-registration path and tests.
 func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
+	return s.RegisterCtx(context.Background(), req)
+}
+
+// RegisterCtx is Register under a context: the context's trace (if any)
+// receives the registration's stage spans — parse, optimize, measure, and
+// for union strategies precondition and solve — and cancellation aborts
+// the build at its privacy-safe points (before optimization and before the
+// measurement; never after, since by then the budget is spent and the
+// engine must be finished and kept).
+func (s *Server) RegisterCtx(ctx context.Context, req *RegisterRequest) (*RegisterResponse, error) {
+	start := time.Now()
+	// Programmatic callers (startup pre-registration, embedders) arrive
+	// without the HTTP middleware's trace; give them one so their engines
+	// report a stage breakdown on GET /v1/engines/{key} too.
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace(obs.NewRequestID())
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	// Check the scalar budget first: a request that is trivially invalid
 	// must be rejected before any workload parsing or histogram
 	// materialization is paid for it. NaN/Inf cannot arrive via standard
@@ -434,11 +553,14 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 	if len(req.Queries) > s.cfg.MaxWorkloadProducts {
 		return nil, badRequest("workload declares %d query products, limit is %d (selection cost scales with the product count); raise the server's MaxWorkloadProducts to serve it", len(req.Queries), s.cfg.MaxWorkloadProducts)
 	}
+	tr.Begin(obs.StageParse)
 	w, err := buildWorkload(req.Domain, req.Queries, s.cfg.MaxDomainCells, s.cfg.MaxAttrSize)
 	if err != nil {
+		tr.End(obs.StageParse)
 		return nil, err
 	}
 	x, err := dataVector(w.Domain, req)
+	tr.End(obs.StageParse)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +574,7 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 	strategyKey := registry.Key(w, sel)
 	key := s.engineKey(strategyKey, req.Eps, req.Delta, req.Seed, x)
 	eng, found, err := s.pool.GetOrCreate(key, func() (*serve.Engine, error) {
-		return serve.NewEngine(w, x, req.Eps, serve.Options{
+		return serve.NewEngineCtx(ctx, w, x, req.Eps, serve.Options{
 			Selection:    sel,
 			Delta:        req.Delta,
 			Seed:         req.Seed,
@@ -480,6 +602,15 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 		if si := eng.SolveInfo(); si != nil {
 			s.met.observeSolve(si.Iters, si.Resid)
 		}
+		// Retain the fresh build's span breakdown for GET /v1/engines/{key}.
+		// Reused registrations ran no pipeline, so they overwrite nothing.
+		if spans := tr.Spans(); len(spans) > 0 {
+			rt := registrationTrace{stages: make([]StageTiming, len(spans)), wallMs: msec(time.Since(start))}
+			for i, sp := range spans {
+				rt.stages[i] = StageTiming{Stage: sp.Stage.String(), Ms: msec(sp.Total), Count: sp.Count}
+			}
+			s.regSpans.Store(key, rt)
+		}
 	}
 	if !found && s.snaps != nil {
 		// This registration took the one measurement — make it durable.
@@ -487,7 +618,7 @@ func (s *Server) Register(req *RegisterRequest) (*RegisterResponse, error) {
 		// live in memory and its budget is already spent; rejecting the
 		// tenant now would invite a retry that measures AGAIN.
 		if err := s.snaps.Save(eng.Snapshot(key, req.Queries)); err != nil {
-			log.Printf("hdmm server: persisting engine snapshot %s: %v", key, err)
+			s.log.Error("persisting engine snapshot failed", "key", key, "err", err)
 		}
 	}
 	return &RegisterResponse{
@@ -511,10 +642,18 @@ func (s *Server) answerBudgetExceeded() error {
 // of the response owns its slice; the HTTP handler, whose response is
 // serialized immediately, runs the alias-duplicates fast path instead.
 func (s *Server) Answer(key string, req *AnswerRequest) (*AnswerResponse, error) {
-	return s.answer(key, req, false)
+	return s.answer(context.Background(), key, req, false)
 }
 
-func (s *Server) answer(key string, req *AnswerRequest, shared bool) (*AnswerResponse, error) {
+// AnswerCtx is Answer under a context: the context's trace receives the
+// answer-stage span, and cancellation (a disconnected client) stops the
+// batch evaluation mid-way — answering is privacy-free post-processing, so
+// abandoning it is always safe and the CPU goes back to live requests.
+func (s *Server) AnswerCtx(ctx context.Context, key string, req *AnswerRequest) (*AnswerResponse, error) {
+	return s.answer(ctx, key, req, false)
+}
+
+func (s *Server) answer(ctx context.Context, key string, req *AnswerRequest, shared bool) (*AnswerResponse, error) {
 	eng, ok := s.pool.Get(key)
 	if !ok {
 		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("no engine registered under key %q", key)}
@@ -593,13 +732,16 @@ func (s *Server) answer(key string, req *AnswerRequest, shared bool) (*AnswerRes
 	// slice; the programmatic API keeps independent slices.
 	var answers [][]float64
 	if shared {
-		answers, err = eng.AnswerShared(products)
+		answers, err = eng.AnswerSharedCtx(ctx, products)
 	} else {
-		answers, err = eng.Answer(products)
+		answers, err = eng.AnswerCtx(ctx, products)
 	}
 	if err != nil {
-		// Engine.Answer fails only on product/domain mismatches — caller
-		// input, not server state.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err // the client is gone; writeError maps this to 499
+		}
+		// Beyond cancellation, Engine.Answer fails only on product/domain
+		// mismatches — caller input, not server state.
 		return nil, badRequest("%v", err)
 	}
 	return &AnswerResponse{Answers: answers}, nil
@@ -628,6 +770,11 @@ func (s *Server) Info(key string) (*EngineInfo, error) {
 		info.SolverResid = si.Resid
 		info.SolverPreconditioned = si.Preconditioned
 	}
+	if v, ok := s.regSpans.Load(key); ok {
+		rt := v.(registrationTrace)
+		info.Stages = rt.stages
+		info.RegisterWallMs = rt.wallMs
+	}
 	return info, nil
 }
 
@@ -638,12 +785,28 @@ func (s *Server) Metrics() *MetricsResponse {
 	if total := st.Hits + st.Misses; total > 0 {
 		cache.HitRatio = float64(st.Hits) / float64(total)
 	}
+	endpoints, hists := s.met.snapshot()
 	resp := &MetricsResponse{
-		Engines:       s.pool.Len(),
-		StrategyCache: cache,
-		Endpoints:     s.met.snapshot(),
-		Solver:        s.met.solverSnapshot(),
-		Degraded:      s.degraded(),
+		Version:        Version,
+		UptimeSeconds:  s.met.uptime().Seconds(),
+		Engines:        s.pool.Len(),
+		StrategyCache:  cache,
+		Endpoints:      endpoints,
+		Solver:         s.met.solverSnapshot(),
+		Degraded:       s.degraded(),
+		DegradedReason: s.degradedReason(),
+		endpointHists:  hists,
+		stageHists:     s.met.stageSnapshots(),
+	}
+	resp.Stages = make([]StageStats, obs.NumStages)
+	for i, h := range resp.stageHists {
+		resp.Stages[i] = StageStats{
+			Stage:  obs.StageName(i),
+			Count:  h.Count,
+			MeanMs: h.Mean() * 1e3,
+			P99Ms:  h.Quantile(0.99) * 1e3,
+			MaxMs:  h.Max * 1e3,
+		}
 	}
 	if s.snaps != nil {
 		st := s.snaps.Stats()
@@ -655,12 +818,12 @@ func (s *Server) Metrics() *MetricsResponse {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.Register(&req)
+	resp, err := s.RegisterCtx(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	// Idempotent re-registration created nothing: 200, not 201.
@@ -668,43 +831,53 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if resp.Reused {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, resp)
+	s.writeJSON(w, code, resp)
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	var req AnswerRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	resp, err := s.answer(r.PathValue("key"), &req, true)
+	resp, err := s.answer(r.Context(), r.PathValue("key"), &req, true)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEngineGet(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Info(r.PathValue("key"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	// Degraded is NOT unhealthy — the daemon answers fine from memory — so
 	// the status stays "ok" (load balancers keep routing) and the flag
-	// rides alongside for operators and alerting.
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "degraded": s.degraded()})
+	// rides alongside for operators and alerting, with the first-cause
+	// reason so the on-call reads WHY without grepping logs.
+	doc := map[string]any{
+		"status":         "ok",
+		"version":        Version,
+		"uptime_seconds": s.met.uptime().Seconds(),
+		"degraded":       s.degraded(),
+	}
+	if why := s.degradedReason(); why != "" {
+		doc["degraded_reason"] = why
+	}
+	s.writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Metrics()
 	if strings.Contains(r.Header.Get("Accept"), "application/json") {
-		writeJSON(w, http.StatusOK, m)
+		s.writeJSON(w, http.StatusOK, m)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -712,13 +885,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(m.prometheus())
 }
 
-// instrument wraps a handler with status recording and latency metrics.
+// msec renders a duration in milliseconds for logs and JSON documents.
+func msec(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// instrument wraps a handler with the request's observability: a trace is
+// minted (honoring a sane inbound X-Request-Id and echoing the ID back),
+// attached to the request context for the pipeline to annotate, and on
+// completion the latency lands in the endpoint histogram, the stage spans
+// in the stage histograms, and requests slower than the threshold get a
+// warn log with their span breakdown.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		tr := obs.NewTrace(id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		s.met.observe(name, sw.status, time.Since(start))
+		d := time.Since(start)
+		s.met.observe(name, sw.status, d)
+		spans := tr.Spans()
+		s.met.observeStages(spans)
+		if s.slow > 0 && d >= s.slow {
+			attrs := make([]any, 0, 8+2*len(spans))
+			attrs = append(attrs, "request_id", id, "endpoint", name, "status", sw.status, "ms", msec(d))
+			for _, sp := range spans {
+				attrs = append(attrs, sp.Stage.String()+"_ms", msec(sp.Total))
+			}
+			s.log.Warn("slow request", attrs...)
+		} else {
+			s.log.Debug("request", "request_id", id, "endpoint", name, "status", sw.status, "ms", msec(d))
+		}
 	})
 }
 
@@ -745,12 +946,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
 // cannot represent (e.g. an answer that overflowed to ±Inf) becomes a 500
 // instead of a silent 200 with an empty body. Write errors after a
 // successful marshal mean the client went away; nothing sensible to do.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		log.Printf("hdmm server: encoding response: %v", err)
+		s.log.Error("encoding response failed", "err", err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		_, _ = io.WriteString(w, `{"error":"internal server error"}`+"\n")
@@ -761,21 +962,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
 	}
 	msg := err.Error()
-	if code == http.StatusInternalServerError {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client disconnected mid-request: nobody reads this response,
+		// but the status must be recorded as cancelled (499), not as a
+		// server error — see statusClientClosedRequest.
+		code = statusClientClosedRequest
+		msg = "client closed request"
+	case code == http.StatusInternalServerError:
 		// Internal errors carry server-side detail (cache paths, codec
 		// internals) that a network caller has no business seeing — but
-		// the operator needs it, so log before masking.
-		log.Printf("hdmm server: internal error: %v", err)
+		// the operator needs it, so log (with the request ID, so the line
+		// joins the client's report) before masking.
+		s.log.Error("internal error", "request_id", obs.TraceFrom(r.Context()).ID(), "err", err)
 		msg = "internal server error"
 	}
-	writeJSON(w, code, map[string]string{"error": msg})
+	s.writeJSON(w, code, map[string]string{"error": msg})
 }
 
 // buildWorkload assembles the workload from the wire representation,

@@ -64,6 +64,7 @@ type Store struct {
 	recovered    atomic.Uint64
 	quarantined  atomic.Uint64
 	degraded     atomic.Bool
+	degradedWhy  atomic.Pointer[string] // first degradation reason, latched
 }
 
 // Stats is a snapshot of the store's counters, exposed on /metrics.
@@ -74,6 +75,10 @@ type Stats struct {
 	Recovered    uint64 `json:"recovered"`     // engines rehydrated at boot
 	Quarantined  uint64 `json:"quarantined"`   // corrupt/rejected files set aside
 	Degraded     bool   `json:"degraded"`      // some durable state could not be persisted or loaded
+	// DegradedReason names the FIRST event that latched the degraded flag
+	// ("" while healthy). The first reason is the root cause an operator
+	// needs; later events usually cascade from it.
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Open creates (or reuses) a snapshot directory. fsys selects the
@@ -96,7 +101,7 @@ func (s *Store) Dir() string { return s.dir }
 
 // Stats returns the store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Writes:       s.saved.Load(),
 		WriteErrors:  s.writeErrors.Load(),
 		WriteRetries: s.writeRetries.Load(),
@@ -104,11 +109,23 @@ func (s *Store) Stats() Stats {
 		Quarantined:  s.quarantined.Load(),
 		Degraded:     s.degraded.Load(),
 	}
+	if why := s.degradedWhy.Load(); why != nil {
+		st.DegradedReason = *why
+	}
+	return st
 }
 
-// MarkDegraded latches the degraded flag (used by the server when the
-// store itself could be opened but surrounding recovery state could not).
-func (s *Store) MarkDegraded() { s.degraded.Store(true) }
+// MarkDegraded latches the degraded flag with a reason (used by the server
+// when the store itself could be opened but surrounding recovery state
+// could not). Only the first reason is kept — it is the root cause.
+func (s *Store) MarkDegraded(reason string) { s.markDegraded(reason) }
+
+func (s *Store) markDegraded(reason string) {
+	s.degraded.Store(true)
+	if reason != "" {
+		s.degradedWhy.CompareAndSwap(nil, &reason)
+	}
+}
 
 // Path returns the file a key is stored at.
 func (s *Store) Path(key string) string { return filepath.Join(s.dir, key+FileExt) }
@@ -138,13 +155,13 @@ func validKey(key string) error {
 func (s *Store) Save(sn *Snapshot) error {
 	if err := validKey(sn.Key); err != nil {
 		s.writeErrors.Add(1)
-		s.degraded.Store(true)
+		s.markDegraded("snapshot save rejected: invalid key")
 		return err
 	}
 	blob, err := Encode(sn)
 	if err != nil {
 		s.writeErrors.Add(1)
-		s.degraded.Store(true)
+		s.markDegraded("snapshot encoding failed")
 		return err
 	}
 	_, leader, err := s.writes.Do(sn.Key, nil, nil, func() (struct{}, error) {
@@ -155,7 +172,7 @@ func (s *Store) Save(sn *Snapshot) error {
 	if err != nil {
 		if leader {
 			s.writeErrors.Add(1)
-			s.degraded.Store(true)
+			s.markDegraded("snapshot write failed after retries")
 		}
 		return fmt.Errorf("snapshot: persisting %s: %w", sn.Key, err)
 	}
@@ -188,7 +205,7 @@ func (s *Store) Load(key string) (*Snapshot, error) {
 func (s *Store) Recover(adopt func(*Snapshot) error) (int, error) {
 	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
-		s.degraded.Store(true)
+		s.markDegraded("snapshot directory unreadable at recovery")
 		return 0, fmt.Errorf("snapshot: scanning store: %w", err)
 	}
 	n := 0
@@ -227,7 +244,7 @@ func (s *Store) Recover(adopt func(*Snapshot) error) (int, error) {
 			continue
 		}
 		if err := adopt(sn); errors.Is(err, ErrSkip) {
-			s.degraded.Store(true)
+			s.markDegraded("recovered snapshot not adopted")
 			continue
 		} else if err != nil {
 			s.quarantine(name)
@@ -243,7 +260,7 @@ func (s *Store) Recover(adopt func(*Snapshot) error) (int, error) {
 // latches the degraded flag. The file is preserved byte-for-byte: it is
 // the only forensic record of what corrupted budget-carrying state.
 func (s *Store) quarantine(name string) {
-	s.degraded.Store(true)
+	s.markDegraded("snapshot quarantined: " + name)
 	s.quarantined.Add(1)
 	qdir := filepath.Join(s.dir, quarantineDir)
 	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
