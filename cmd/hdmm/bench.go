@@ -14,6 +14,7 @@ import (
 
 	hdmm "repro"
 	"repro/internal/core"
+	"repro/internal/fsx"
 	"repro/internal/kron"
 	"repro/internal/mat"
 	"repro/internal/schema"
@@ -364,7 +365,10 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	} else {
-		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		// The file doubles as the -assert-improves baseline for later CI
+		// runs; an interrupted bench must not leave a torn JSON the gate
+		// would then trip over.
+		if err := fsx.WriteAtomic(fsx.OS{}, *out, blob); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(results))

@@ -1,0 +1,35 @@
+// Command hdmmlint is the vettool that machine-enforces this
+// repository's three correctness invariants — privacy (a measurement
+// is an irrevocable ε-spend), determinism (fixed seed ⇒ byte-identical
+// output at any worker count) and durability (persisted state goes
+// through crash-safe atomic writes) — plus context propagation on the
+// request path. Run it through the build system:
+//
+//	go build -o hdmmlint ./cmd/hdmmlint
+//	go vet -vettool=./hdmmlint ./...
+//
+// Suppressions use //hdmmlint:allow <analyzer> <reason> on the flagged
+// line or the line above it; the reason is mandatory and stale
+// suppressions are themselves reported.
+package main
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/epsilonspend"
+	"repro/internal/lint/maporder"
+)
+
+// Analyzers in invariant order: privacy, determinism (two), durability,
+// request flow.
+func main() {
+	analysis.Main(
+		epsilonspend.Analyzer,
+		detrand.Analyzer,
+		maporder.Analyzer,
+		atomicwrite.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

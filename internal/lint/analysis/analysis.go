@@ -1,0 +1,149 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository's invariant
+// checkers need. The container this repo builds in has no module proxy
+// access, so the framework is grown in-tree from the standard library
+// alone: go/ast + go/types for the analyses, and go/importer reading the
+// compiler's export data for the `go vet -vettool` driver (the same
+// importer the upstream unitchecker uses).
+//
+// The surface is deliberately small: an Analyzer runs once per package
+// unit over type-checked syntax and reports position-anchored
+// diagnostics. There are no facts, no analyzer dependencies, and no
+// suggested fixes — the five hdmmlint analyzers are all single-unit
+// syntax+types checks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hdmmlint:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `hdmmlint help`.
+	Doc string
+
+	// Run applies the check to one package unit, reporting findings via
+	// pass.Report. A non-nil error aborts the whole unit (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass carries one type-checked package unit to an Analyzer.
+//
+// Files holds only the non-test files of the unit: the invariants
+// guard production behavior (privacy spend, byte-identity, durable
+// writes), and tests legitimately write temp files, reuse fixed seeds
+// and call the measurement layer directly. The type checker still saw
+// the complete unit, so types resolve identically either way.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one finding. The runner applies //hdmmlint:allow
+	// filtering after the analyzer completes, so analyzers report
+	// every violation unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one position-anchored finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Callee resolves the static callee of call, or nil when the callee is
+// dynamic (a function value, an interface method) or the expression is
+// a type conversion. Both plain functions and methods resolve.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj() // method or field; fields filter out below
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier pkg.Func
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function (not a
+// method) path.name.
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != path {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// EnclosingFuncName returns the audit name of the innermost function
+// declaration enclosing pos in file: "Func" for package-level functions,
+// "Type.Method" for methods (pointer receivers included without the
+// star, so one spelling covers both). Function literals attribute to
+// their enclosing declaration — a closure spends budget on behalf of
+// the function that built it. Returns "" outside any declaration
+// (package-level var initializers).
+func EnclosingFuncName(file *ast.File, pos token.Pos) string {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos >= fd.End() {
+			continue
+		}
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return fd.Name.Name
+		}
+		return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+	}
+	return ""
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver Type[T]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// IsTestFile reports whether filename is a _test.go file.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//hdmmlint:allow <analyzer> <reason...>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a suppression is an audited exception, and the audit
+// trail lives in the source next to the exception, not in a PR thread
+// that the next reader will never find.
+const directivePrefix = "//hdmmlint:"
+
+// An Allow is one parsed //hdmmlint:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	File     string
+	Line     int
+	used     bool
+}
+
+// ParseAllows extracts the well-formed allow directives of file and
+// reports malformed ones (wrong verb, missing analyzer, missing reason,
+// unknown analyzer name) as diagnostics. known maps legal analyzer
+// names; a typo in the name would otherwise silently suppress nothing
+// while looking like a reviewed exception.
+func ParseAllows(fset *token.FileSet, file *ast.File, known map[string]bool) ([]*Allow, []Diagnostic) {
+	var allows []*Allow
+	var diags []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				diags = append(diags, Diagnostic{c.Pos(),
+					"unknown hdmmlint directive //hdmmlint:" + verb + " (only //hdmmlint:allow <analyzer> <reason> is recognized)"})
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+			reason = strings.TrimSpace(reason)
+			switch {
+			case name == "":
+				diags = append(diags, Diagnostic{c.Pos(),
+					"malformed //hdmmlint:allow: missing analyzer name (want //hdmmlint:allow <analyzer> <reason>)"})
+			case !known[name]:
+				diags = append(diags, Diagnostic{c.Pos(),
+					"//hdmmlint:allow names unknown analyzer " + name})
+			case reason == "":
+				diags = append(diags, Diagnostic{c.Pos(),
+					"//hdmmlint:allow " + name + " has no reason: every suppression must carry a written justification"})
+			default:
+				posn := fset.Position(c.Pos())
+				allows = append(allows, &Allow{
+					Analyzer: name,
+					Reason:   reason,
+					Pos:      c.Pos(),
+					File:     posn.Filename,
+					Line:     posn.Line,
+				})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// suppresses reports whether a covers a diagnostic of analyzer name at
+// position posn: same analyzer, same file, and the directive sits on
+// the flagged line (end-of-line comment) or on the line directly above
+// it (comment-above style). Anything farther away does not count — a
+// suppression must visibly touch what it suppresses.
+func (a *Allow) suppresses(name string, posn token.Position) bool {
+	return a.Analyzer == name &&
+		a.File == posn.Filename &&
+		(a.Line == posn.Line || a.Line == posn.Line-1)
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomicwrite"
+)
+
+// TestDirectiveGrammar runs with directive checking on (the vettool's
+// full-suite mode): wrong verbs, missing analyzer names, unknown
+// analyzers, reason-free directives and stale suppressions are all
+// reported under the pseudo-analyzer "hdmmlint", while same-line and
+// line-above placements suppress exactly one diagnostic each.
+func TestDirectiveGrammar(t *testing.T) {
+	analysistest.RunSuite(t, []*analysis.Analyzer{atomicwrite.Analyzer}, true, "d")
+}

@@ -1,0 +1,107 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicwrite"
+)
+
+// TestMain lets the test binary impersonate the vettool: when
+// re-executed with HDMMLINT_BE_TOOL=1 it enters analysis.Main (which
+// never returns), so the protocol tests below can observe the real
+// exit codes and output streams go vet will see.
+func TestMain(m *testing.M) {
+	if os.Getenv("HDMMLINT_BE_TOOL") == "1" {
+		analysis.Main(atomicwrite.Analyzer)
+		panic("analysis.Main returned")
+	}
+	os.Exit(m.Run())
+}
+
+func runTool(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HDMMLINT_BE_TOOL=1")
+	var ob, eb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return ob.String(), eb.String(), code
+}
+
+// TestToolVersionFingerprint: cmd/go parses the -V=full line and
+// requires "version" as the second word and a buildID= last field; a
+// malformed line breaks `go vet -vettool` for every user at once.
+func TestToolVersionFingerprint(t *testing.T) {
+	stdout, _, code := runTool(t, "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	re := regexp.MustCompile(`^\S+ version devel comments-go-here buildID=[0-9a-f]{64}\n$`)
+	if !re.MatchString(stdout) {
+		t.Errorf("-V=full output %q does not match the toolchain's expected shape", stdout)
+	}
+}
+
+// TestToolFlagsHandshake: go vet asks for the supported-flags JSON
+// before anything else; hdmmlint has none and must say so as [].
+func TestToolFlagsHandshake(t *testing.T) {
+	stdout, _, code := runTool(t, "-flags")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("-flags: exit %d, stdout %q; want exit 0 and []", code, stdout)
+	}
+}
+
+// TestToolUsageAndBadFlag: -h documents every analyzer and exits 0;
+// unknown flags and missing configs are hard errors.
+func TestToolUsageAndBadFlag(t *testing.T) {
+	_, stderr, code := runTool(t, "-h")
+	if code != 0 || !strings.Contains(stderr, "atomicwrite") {
+		t.Errorf("-h: exit %d, stderr %q; want exit 0 mentioning atomicwrite", code, stderr)
+	}
+	if _, _, code := runTool(t, "-no-such-flag"); code == 0 {
+		t.Error("unknown flag: want nonzero exit")
+	}
+	if _, _, code := runTool(t); code == 0 {
+		t.Error("no config argument: want nonzero exit")
+	}
+}
+
+// TestToolUnitExitCodes: a unit with findings prints file:line:col
+// diagnostics tagged with the analyzer name and exits 1; a clean unit
+// exits 0. This is the contract that makes the CI lint job a gate.
+func TestToolUnitExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeCfg := func(name, src string) string {
+		cfg := unitConfig(t, dir, writeSrc(t, dir, name+".go", src))
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return writeSrc(t, dir, name+".cfg", string(blob))
+	}
+
+	_, stderr, code := runTool(t, writeCfg("dirty", violatingSrc))
+	if code != 1 {
+		t.Fatalf("unit with findings exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, filepath.Join(dir, "dirty.go")+":6:9:") || !strings.Contains(stderr, "[atomicwrite]") {
+		t.Errorf("diagnostic line missing position or analyzer tag: %q", stderr)
+	}
+
+	if _, stderr, code := runTool(t, writeCfg("clean", "package p\n\nfunc ok() {}\n")); code != 0 {
+		t.Errorf("clean unit exited %d (stderr: %s)", code, stderr)
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// directiveCheck is the pseudo-analyzer name under which the runner
+// reports misused //hdmmlint: directives (malformed, unknown analyzer,
+// missing reason, or suppressing nothing). It is a reserved name:
+// directives cannot allow-list the directive checker itself.
+const directiveCheck = "hdmmlint"
+
+// A Finding is one post-filter diagnostic attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Unit is one type-checked package ready for analysis. Files must
+// hold the unit's non-test files only (see Pass.Files); the runner
+// scans the same files for directives.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// RunAnalyzers applies every analyzer to the unit and returns the
+// surviving findings in position order. //hdmmlint:allow directives
+// filter matching diagnostics; when checkDirectives is true (the full
+// vettool suite — every analyzer a directive could name is present)
+// malformed and unused directives are themselves reported, so a stale
+// suppression cannot outlive the violation it once covered.
+func RunAnalyzers(unit *Unit, analyzers []*Analyzer, checkDirectives bool) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var allows []*Allow
+	var directiveDiags []Diagnostic
+	for _, f := range unit.Files {
+		fa, fd := ParseAllows(unit.Fset, f, known)
+		allows = append(allows, fa...)
+		directiveDiags = append(directiveDiags, fd...)
+	}
+
+	var findings []Finding
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Pkg,
+			TypesInfo: unit.TypesInfo,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	diag:
+		for _, d := range diags {
+			posn := unit.Fset.Position(d.Pos)
+			for _, al := range allows {
+				if al.suppresses(a.Name, posn) {
+					al.used = true
+					continue diag
+				}
+			}
+			findings = append(findings, Finding{a.Name, d.Pos, d.Message})
+		}
+	}
+
+	if checkDirectives {
+		for _, d := range directiveDiags {
+			findings = append(findings, Finding{directiveCheck, d.Pos, d.Message})
+		}
+		for _, al := range allows {
+			if !al.used {
+				findings = append(findings, Finding{directiveCheck, al.Pos, fmt.Sprintf(
+					"//hdmmlint:allow %s suppresses nothing here: the violation it covered is gone, remove the directive", al.Analyzer)})
+			}
+		}
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
+}

@@ -1,0 +1,40 @@
+// Fixture for the directive grammar itself, run with directive
+// checking on (the full-suite mode). Block-comment wants are used on
+// lines that already end in the //hdmmlint: directive under test.
+package d
+
+import "os"
+
+// Wrong verb.
+var _ = 0 /* want `unknown hdmmlint directive //hdmmlint:forbid` */ //hdmmlint:forbid rand
+
+// Missing analyzer name.
+var _ = 1 /* want `missing analyzer name` */ //hdmmlint:allow
+
+// Unknown analyzer name: a typo would silently suppress nothing while
+// looking like a reviewed exception.
+var _ = 2 /* want `names unknown analyzer nosuch` */ //hdmmlint:allow nosuch some reason
+
+// Well-formed but reason-free: the audit trail is mandatory.
+var _ = 3 /* want `has no reason` */ //hdmmlint:allow atomicwrite
+
+// Well-formed, justified, but covering nothing on this line or the
+// next: stale suppressions must not outlive their violations.
+/* want `suppresses nothing here` */ //hdmmlint:allow atomicwrite stale: the write it covered was removed
+
+// An unsuppressed violation still reports normally in this mode.
+func tornWrite(path string) error {
+	return os.WriteFile(path, nil, 0o644) // want `route persistence through fsx\.WriteAtomic`
+}
+
+// End-of-line placement suppresses the same line; no unused-directive
+// report because it is consumed.
+func scratch(path string) error {
+	return os.WriteFile(path, nil, 0o600) //hdmmlint:allow atomicwrite reviewed: scratch file, no reader trusts it after a crash
+}
+
+// Comment-above placement suppresses the line directly below.
+func above(path string) error {
+	//hdmmlint:allow atomicwrite reviewed: comment-above placement
+	return os.WriteFile(path, nil, 0o600)
+}

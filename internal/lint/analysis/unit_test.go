@@ -1,0 +1,185 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicwrite"
+)
+
+// exportData asks the build system for the gc export data of a
+// standard-library package — the same artifact go vet lists in a unit
+// config's PackageFile map.
+func exportData(t *testing.T, pkg string) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", pkg).Output()
+	if err != nil {
+		t.Fatalf("go list -export %s: %v", pkg, err)
+	}
+	p := strings.TrimSpace(string(out))
+	if p == "" {
+		t.Fatalf("go list -export %s: empty export path", pkg)
+	}
+	return p
+}
+
+const violatingSrc = `package p
+
+import "os"
+
+func persist(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}
+`
+
+// Test files ride in the same unit config; the invariants must not
+// bind them.
+const violatingTestSrc = `package p
+
+import "os"
+
+func scratchForTest(path string) error {
+	return os.WriteFile(path, nil, 0o600)
+}
+`
+
+// unitConfig builds the synthetic compilation-unit description go vet
+// would hand the vettool for a one-package unit importing only os.
+func unitConfig(t *testing.T, dir string, goFiles ...string) *analysis.Config {
+	t.Helper()
+	return &analysis.Config{
+		ID:          "example/p",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "example/p",
+		GoVersion:   "go1.24",
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{"os": "os"},
+		PackageFile: map[string]string{"os": exportData(t, "os")},
+		Standard:    map[string]bool{"os": true},
+		VetxOutput:  filepath.Join(dir, "p.vetx"),
+	}
+}
+
+func writeSrc(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunConfig drives the vettool's unit path end to end: parse,
+// type-check against real export data, analyze, filter test files, and
+// write the vetx file the build system requires.
+func TestRunConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := unitConfig(t, dir,
+		writeSrc(t, dir, "p.go", violatingSrc),
+		writeSrc(t, dir, "p_test.go", violatingTestSrc),
+	)
+
+	out, err := analysis.RunConfig(cfg, []*analysis.Analyzer{atomicwrite.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the _test.go violation must be skipped): %+v", len(out.Findings), out.Findings)
+	}
+	f := out.Findings[0]
+	if f.Analyzer != "atomicwrite" || !strings.Contains(f.Message, "fsx.WriteAtomic") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if posn := out.Fset.Position(f.Pos); filepath.Base(posn.Filename) != "p.go" || posn.Line != 6 {
+		t.Errorf("finding at %v, want p.go:6", posn)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestRunConfigFile exercises the .cfg decoding wrapper plus its error
+// cases (unreadable file, bad JSON, fileless package).
+func TestRunConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := unitConfig(t, dir, writeSrc(t, dir, "p.go", violatingSrc))
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := writeSrc(t, dir, "p.cfg", string(blob))
+
+	out, err := analysis.RunConfigFile(cfgPath, []*analysis.Analyzer{atomicwrite.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(out.Findings))
+	}
+
+	if _, err := analysis.RunConfigFile(filepath.Join(dir, "nope.cfg"), nil); err == nil {
+		t.Error("missing config file: want error")
+	}
+	bad := writeSrc(t, dir, "bad.cfg", "{not json")
+	if _, err := analysis.RunConfigFile(bad, nil); err == nil {
+		t.Error("malformed config JSON: want error")
+	}
+	empty := writeSrc(t, dir, "empty.cfg", `{"ImportPath":"example/empty"}`)
+	if _, err := analysis.RunConfigFile(empty, nil); err == nil {
+		t.Error("fileless package: want error")
+	}
+}
+
+// TestRunConfigVetxOnly: dependency-only visits skip analysis entirely
+// but must still write the output file the driver polls for.
+func TestRunConfigVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	cfg := unitConfig(t, dir, writeSrc(t, dir, "p.go", violatingSrc))
+	cfg.VetxOnly = true
+
+	out, err := analysis.RunConfig(cfg, []*analysis.Analyzer{atomicwrite.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Findings) != 0 {
+		t.Errorf("VetxOnly unit produced findings: %+v", out.Findings)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("vetx output not written in VetxOnly mode: %v", err)
+	}
+}
+
+// TestRunConfigTypecheckFailure: broken units error by default, but
+// stand aside silently when the driver says the compiler will report
+// the problem itself.
+func TestRunConfigTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"parse_error.go": "package p\nfunc {",
+		"type_error.go":  "package p\nvar x = undefinedIdent\n",
+	} {
+		cfg := unitConfig(t, dir, writeSrc(t, dir, name, src))
+		if _, err := analysis.RunConfig(cfg, nil); err == nil {
+			t.Errorf("%s: want error without SucceedOnTypecheckFailure", name)
+		}
+		cfg.SucceedOnTypecheckFailure = true
+		out, err := analysis.RunConfig(cfg, nil)
+		if err != nil {
+			t.Errorf("%s: SucceedOnTypecheckFailure should swallow the error, got %v", name, err)
+		} else if len(out.Findings) != 0 {
+			t.Errorf("%s: findings from a broken unit: %+v", name, out.Findings)
+		}
+		if _, err := os.Stat(cfg.VetxOutput); err != nil {
+			t.Errorf("%s: vetx output not written on stand-aside: %v", name, err)
+		}
+		if err := os.Remove(cfg.VetxOutput); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want annotations, mirroring the
+// upstream golang.org/x/tools harness of the same name with only the
+// standard library. Fixtures live in a GOPATH-shaped tree under the
+// test's directory:
+//
+//	testdata/src/<import/path>/*.go
+//
+// Imports resolve first against that tree (so fixtures can stub
+// repro/internal/... packages by path) and fall back to the compiler's
+// source importer for the standard library. Expectations are written
+// on the offending line:
+//
+//	os.WriteFile(p, b, 0o644) // want `route persistence through`
+//
+// Each backquoted (or double-quoted) regexp after want must match one
+// diagnostic reported on that line; unexpected diagnostics and
+// unmatched expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run applies one analyzer to each fixture package, with
+// //hdmmlint:allow directives honored (so allowed-by-directive cases
+// can be fixtured) but directive misuse not reported.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunSuite(t, []*analysis.Analyzer{a}, false, pkgPaths...)
+}
+
+// RunSuite applies a set of analyzers to each fixture package. With
+// checkDirectives, malformed and unused //hdmmlint: directives are
+// reported under the pseudo-analyzer name "hdmmlint" and can be
+// asserted with want annotations like any other diagnostic — this is
+// how the directive grammar is itself tested.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, checkDirectives bool, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(t, "testdata/src")
+	for _, path := range pkgPaths {
+		pkg := ld.load(path)
+		unit := &analysis.Unit{Fset: ld.fset, Files: pkg.files, Pkg: pkg.pkg, TypesInfo: pkg.info}
+		findings, err := analysis.RunAnalyzers(unit, analyzers, checkDirectives)
+		if err != nil {
+			t.Fatalf("package %s: %v", path, err)
+		}
+		checkExpectations(t, ld.fset, pkg.files, findings)
+	}
+}
+
+// A loadedPkg is one fixture package with everything a Pass needs.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture import paths from the testdata tree,
+// falling back to compiling the standard library from source.
+type loader struct {
+	t     *testing.T
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*loadedPkg
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:     t,
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*loadedPkg),
+	}
+}
+
+func (ld *loader) load(path string) *loadedPkg {
+	ld.t.Helper()
+	if p, ok := ld.cache[path]; ok {
+		return p
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			ld.t.Fatalf("fixture package %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("fixture package %s: no .go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  importerFunc(ld.importPkg),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: "go1.24",
+	}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.cache[path] = p
+	return p
+}
+
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		return ld.load(path).pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Line comments carry the want clause at their end; block comments
+// (used when the flagged line already ends in another comment, e.g. a
+// //hdmmlint: directive under test) contain nothing else.
+var (
+	wantLineRe  = regexp.MustCompile("// want ((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+	wantBlockRe = regexp.MustCompile(`^/\*\s*want (.+?)\s*\*/$`)
+)
+
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantLineRe.FindStringSubmatch(strings.TrimRight(c.Text, " \t"))
+				if m == nil {
+					m = wantBlockRe.FindStringSubmatch(c.Text)
+				}
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Fatalf("%s: malformed want comment %q", fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, tok := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, tok, err)
+					}
+					exps = append(exps, &expectation{file: posn.Filename, line: posn.Line, re: re, raw: tok})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var tok string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern", posn)
+			}
+			tok, s = s[1:1+end], s[2+end:]
+		case '"':
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern: %v", posn, err)
+			}
+			tok, err = strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern: %v", posn, err)
+			}
+			s = s[len(q):]
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted", posn)
+		}
+		out = append(out, tok)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	exps := parseExpectations(t, fset, files)
+finding:
+	for _, f := range findings {
+		posn := fset.Position(f.Pos)
+		for _, e := range exps {
+			if !e.matched && e.file == posn.Filename && e.line == posn.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				continue finding
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s [%s]", posn, f.Message, f.Analyzer)
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic matching %s", fmt.Sprintf("%s:%d", e.file, e.line), strconv.Quote(e.raw))
+		}
+	}
+}

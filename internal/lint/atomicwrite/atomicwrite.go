@@ -1,0 +1,71 @@
+// Package atomicwrite enforces the durability invariant: persisted
+// state goes through internal/fsx's crash-safe protocol (CreateTemp →
+// Write → Sync → Close → Rename → dir fsync) or it does not get
+// written. A bare os.WriteFile torn by a crash leaves a half-written
+// file that downstream readers trust — the registry, the snapshot
+// store and the bench baseline gate all read files they assume were
+// written atomically. PR 6 built the fsx seam; this analyzer closes
+// the side doors.
+package atomicwrite
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// fsxPath is the one package allowed to touch raw file-creation
+// primitives: it implements the atomic protocol the rest of the repo
+// must use.
+const fsxPath = "repro/internal/fsx"
+
+// Analyzer is the atomicwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "persisted files must be written through fsx.WriteAtomic (temp+fsync+rename); " +
+		"os.WriteFile/os.Create/os.OpenFile(O_CREATE) are legal only inside internal/fsx",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == fsxPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			switch {
+			case analysis.IsPkgFunc(fn, "os", "WriteFile"), analysis.IsPkgFunc(fn, "os", "Create"):
+				pass.Reportf(call.Pos(),
+					"os.%s can tear on crash, leaving a half-written file readers will trust: "+
+						"route persistence through fsx.WriteAtomic", fn.Name())
+			case analysis.IsPkgFunc(fn, "os", "OpenFile") && createsFile(call):
+				pass.Reportf(call.Pos(),
+					"os.OpenFile with O_CREATE can tear on crash: route persistence through fsx.WriteAtomic")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// createsFile reports whether the OpenFile flag argument mentions
+// O_CREATE. Opening an existing file read-only or for append is not a
+// persistence write of the kind the invariant covers.
+func createsFile(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	creates := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_CREATE" {
+			creates = true
+		}
+		return !creates
+	})
+	return creates
+}

@@ -1,0 +1,21 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomicwrite"
+)
+
+// TestRawWritesFlagged: os.WriteFile, os.Create and O_CREATE opens are
+// flagged in ordinary packages; reads, read-only opens and a justified
+// //hdmmlint:allow pass.
+func TestRawWritesFlagged(t *testing.T) {
+	analysistest.Run(t, atomicwrite.Analyzer, "a")
+}
+
+// TestFsxExempt: internal/fsx implements the atomic protocol and may
+// use the raw primitives.
+func TestFsxExempt(t *testing.T) {
+	analysistest.Run(t, atomicwrite.Analyzer, "repro/internal/fsx")
+}

@@ -1,0 +1,33 @@
+// Fixture for atomicwrite: raw file-creation primitives are flagged
+// outside internal/fsx; reads, read-only opens and a justified
+// exception pass.
+package a
+
+import "os"
+
+func persist(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644) // want `os\.WriteFile can tear on crash`
+}
+
+func makeLog(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create can tear on crash`
+}
+
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644) // want `os\.OpenFile with O_CREATE can tear on crash`
+}
+
+// Reading is not persistence.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Opening an existing file read-only creates nothing.
+func openExisting(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// A reviewed exception: scratch output whose readers tolerate tears.
+func scratch(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o600) //hdmmlint:allow atomicwrite fixture: scratch file, no reader trusts it after a crash
+}

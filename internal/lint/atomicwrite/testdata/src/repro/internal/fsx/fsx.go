@@ -1,0 +1,20 @@
+// Fixture standing in for the real internal/fsx: the one package that
+// implements the atomic protocol, so raw primitives are legal here.
+package fsx
+
+import "os"
+
+func writeAtomic(path string, blob []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}

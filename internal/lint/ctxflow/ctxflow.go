@@ -1,0 +1,124 @@
+// Package ctxflow enforces context propagation on the request path.
+// PR 8 threaded cancellation end-to-end so a disconnected client stops
+// mid-batch work, and registration aborts only at privacy-safe points;
+// both properties die silently the moment a handler manufactures a
+// fresh context.Background() instead of passing the caller's ctx, or
+// accepts a ctx parameter and drops it on the floor. The non-Ctx
+// compatibility wrappers (which take no context at all) stay legal —
+// the analyzer only fires where a caller-supplied context exists and
+// is ignored.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// requestPath is the set of packages between an HTTP listener and the
+// engine: everything here runs on behalf of a cancellable request.
+var requestPath = map[string]bool{
+	"repro/internal/server": true,
+	"repro/internal/serve":  true,
+}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "request-path packages (server, serve) must propagate the caller's context: no " +
+		"context.Background()/TODO() where a ctx parameter is in scope, no ctx parameters " +
+		"accepted and then ignored",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !requestPath[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(pass.TypesInfo, fd.Type)
+			checkBackgroundCalls(pass, fd.Body, len(params) > 0)
+			for _, p := range params {
+				if !usedIn(pass.TypesInfo, fd.Body, p.obj) {
+					pass.Reportf(p.pos,
+						"context parameter %s is accepted but never used: cancellation stops here; "+
+							"propagate it to the calls below (or make this a non-Ctx variant that takes no context)", p.obj.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type ctxParam struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of
+// a function type. An unnamed or blank ctx parameter cannot be
+// propagated by the body at all, so it is the declaration's problem,
+// not a flow violation.
+func ctxParams(info *types.Info, ft *ast.FuncType) []ctxParam {
+	var out []ctxParam
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && analysis.IsContextType(obj.Type()) {
+				out = append(out, ctxParam{obj, name.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// checkBackgroundCalls flags context.Background()/TODO() reachable
+// while a caller-supplied ctx is in scope. Function literals inherit
+// the enclosing scope: a closure inside a handler still sees the
+// request's ctx.
+func checkBackgroundCalls(pass *analysis.Pass, body *ast.BlockStmt, ctxInScope bool) {
+	var walk func(n ast.Node, inScope bool)
+	walk = func(n ast.Node, inScope bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				walk(m.Body, inScope || len(ctxParams(pass.TypesInfo, m.Type)) > 0)
+				return false
+			case *ast.CallExpr:
+				fn := analysis.Callee(pass.TypesInfo, m)
+				if inScope && (analysis.IsPkgFunc(fn, "context", "Background") || analysis.IsPkgFunc(fn, "context", "TODO")) {
+					pass.Reportf(m.Pos(),
+						"context.%s() manufactured while the caller's ctx is in scope: the request's "+
+							"cancellation and trace stop propagating here; pass the ctx parameter through", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	walk(body, ctxInScope)
+}
+
+// usedIn reports whether obj is referenced anywhere in body.
+func usedIn(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,22 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+// TestRequestPath: manufactured Background/TODO with a caller ctx in
+// scope (including inside closures) and dropped ctx parameters are
+// flagged; propagation, non-Ctx wrappers, blank params and a justified
+// //hdmmlint:allow pass.
+func TestRequestPath(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "repro/internal/server")
+}
+
+// TestOutsideRequestPath: packages off the request path may root their
+// own contexts and keep unused ctx params.
+func TestOutsideRequestPath(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "b")
+}

@@ -1,0 +1,13 @@
+// Fixture for a package off the request path: ctxflow does not bind
+// it — batch tools legitimately root their own contexts.
+package b
+
+import "context"
+
+func batchRoot() context.Context {
+	return context.Background()
+}
+
+func helper(ctx context.Context, n int) int {
+	return n
+}

@@ -1,0 +1,64 @@
+// Fixture for ctxflow in a request-path package: manufactured
+// contexts and dropped ctx parameters are flagged; propagation,
+// non-Ctx compatibility wrappers and a justified exception pass.
+package server
+
+import "context"
+
+type engine struct{}
+
+func (engine) Answer(ctx context.Context, q string) (string, error) {
+	_ = ctx
+	return q, nil
+}
+
+// Propagates the caller's ctx: clean.
+func handleAnswer(ctx context.Context, e engine, q string) (string, error) {
+	return e.Answer(ctx, q)
+}
+
+// Manufactures a fresh context while the caller's is in scope.
+func handleStale(ctx context.Context, e engine, q string) (string, error) {
+	_ = ctx
+	return e.Answer(context.Background(), q) // want `context\.Background\(\) manufactured while the caller's ctx is in scope`
+}
+
+// context.TODO is the same hole with a different spelling.
+func handleTODO(ctx context.Context, e engine, q string) (string, error) {
+	_ = ctx
+	return e.Answer(context.TODO(), q) // want `context\.TODO\(\) manufactured while the caller's ctx is in scope`
+}
+
+// A closure inherits the handler's scope: the request ctx is still
+// visible inside.
+func handleAsync(ctx context.Context, e engine, q string) {
+	_ = ctx
+	go func() {
+		_, _ = e.Answer(context.Background(), q) // want `context\.Background\(\) manufactured while the caller's ctx is in scope`
+	}()
+}
+
+// Accepts a ctx and drops it: cancellation stops here.
+func handleDrop(ctx context.Context, q string) string { // want `context parameter ctx is accepted but never used`
+	return q
+}
+
+// The non-Ctx compatibility wrapper takes no context at all; the
+// Background it manufactures is the documented degradation, not a leak.
+func handleLegacy(e engine, q string) (string, error) {
+	return e.Answer(context.Background(), q)
+}
+
+// A blank ctx parameter cannot be propagated by the body; that is the
+// declaration's problem, not a flow violation.
+func handleBlank(_ context.Context, q string) string {
+	return q
+}
+
+// A reviewed exception: work detached from the request on purpose.
+func handleDetach(ctx context.Context, e engine, q string) {
+	_ = ctx
+	go func() {
+		_, _ = e.Answer(context.Background(), q) //hdmmlint:allow ctxflow fixture: detached audit write must outlive the request
+	}()
+}

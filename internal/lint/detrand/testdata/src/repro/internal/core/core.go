@@ -1,0 +1,43 @@
+// Fixture for a deterministic package: the byte-identity contract
+// binds everything here.
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/parallel"
+)
+
+// Explicit seeds and DeriveSeed derivations are the blessed pattern.
+func restartRNG(seed uint64, r int) *rand.Rand {
+	return rand.New(rand.NewPCG(parallel.DeriveSeed(seed, uint64(r)), 0x0937))
+}
+
+func fixedStream(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x5eed))
+}
+
+// Global math/rand state is order-dependent under the worker pool.
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global math/rand state`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global math/rand state`
+}
+
+// Methods on an owned generator are fine: the instance owns its stream.
+func draw(rng *rand.Rand) float64 { return rng.Float64() }
+
+// Seeds computed by arbitrary calls hide their provenance.
+func obscureSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(mangle(seed), 1)) // want `rand\.NewPCG seed computed by call to mangle`
+}
+
+func mangle(s uint64) uint64 { return s * 2654435761 }
+
+// A reviewed exception (the real one lives in mech.NoiseRNG's
+// crypto-seeded production path).
+func cryptoSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(mangle(seed), 1)) //hdmmlint:allow detrand fixture: deliberate non-derived seed for the directive test
+}

@@ -1,0 +1,7 @@
+package core
+
+import (
+	mrand "math/rand" // want `deterministic package imports math/rand \(v1\)`
+)
+
+func legacyDraw() int64 { return mrand.Int63() } // want `rand\.Int63 draws from the global math/rand state`

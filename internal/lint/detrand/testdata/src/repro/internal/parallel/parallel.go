@@ -1,0 +1,4 @@
+// Stub of the seed-derivation helper; matched by package path + name.
+package parallel
+
+func DeriveSeed(seed, task uint64) uint64 { return seed ^ task }

@@ -1,0 +1,39 @@
+package epsilonspend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/epsilonspend"
+)
+
+// TestUnauditedCalls: every measurement-layer call outside the audited
+// allowlist is flagged, closures attribute to their enclosing
+// declaration, non-spending mech calls pass, and an //hdmmlint:allow
+// directive with a reason suppresses.
+func TestUnauditedCalls(t *testing.T) {
+	analysistest.Run(t, epsilonspend.Analyzer, "a")
+}
+
+// TestAllowlistedSite: the real allowlist entry for
+// (repro/internal/serve, NewEngineCtx) admits that site and no other
+// function in the package.
+func TestAllowlistedSite(t *testing.T) {
+	analysistest.Run(t, epsilonspend.Analyzer, "repro/internal/serve")
+}
+
+// TestMechInternalExempt: the measurement layer's own internals are the
+// audited implementation of the mechanism, not spends to relitigate.
+func TestMechInternalExempt(t *testing.T) {
+	analysistest.Run(t, epsilonspend.Analyzer, "repro/internal/mech")
+}
+
+// TestAllowlistJustifications: every allowlist entry carries a
+// non-empty written justification — the table is the audit record.
+func TestAllowlistJustifications(t *testing.T) {
+	for site, why := range epsilonspend.Allowlist {
+		if why == "" {
+			t.Errorf("allowlist entry %+v has no justification", site)
+		}
+	}
+}

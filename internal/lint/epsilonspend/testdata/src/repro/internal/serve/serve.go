@@ -1,0 +1,16 @@
+// Fixture mirroring a real allowlist entry: the site
+// (repro/internal/serve, NewEngineCtx) is audited, so its measurement
+// calls pass, while any other function in the same package does not.
+package serve
+
+import "repro/internal/mech"
+
+func NewEngineCtx(x []float64, eps float64) []float64 {
+	rng := mech.NoiseRNG(7)
+	_ = rng
+	return mech.Measure(x, eps)
+}
+
+func sneakyRemeasure(x []float64, eps float64) []float64 {
+	return mech.Measure(x, eps) // want `unaudited site repro/internal/serve\.sneakyRemeasure`
+}

@@ -1,0 +1,123 @@
+// Package maporder enforces the byte-identity contract at emission
+// boundaries: Go map iteration order is deliberately randomized, so a
+// `range` over a map whose body writes into an encoder, HTTP response,
+// metrics exposition, codec buffer or printed output produces different
+// bytes on every run. Strategy blobs, snapshots, Prometheus text and
+// JSON responses in this repo are all compared byte-for-byte (the
+// recovery smoke test literally uses cmp), so each such site must
+// iterate sorted keys — or carry an //hdmmlint:allow justification for
+// why its bytes cannot reach a determinism-sensitive consumer.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "range over a map whose body writes to an encoder, response or buffer emits " +
+		"nondeterministic bytes; iterate sorted keys instead",
+	Run: run,
+}
+
+// sinkFuncs are package-level functions that emit or append bytes
+// derived from their arguments. Reaching one from inside a map
+// iteration means iteration order reaches the output.
+var sinkFuncs = map[string]map[string]bool{
+	"fmt": {"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true},
+	"io":              {"WriteString": true},
+	"encoding/json":   {"Marshal": true, "MarshalIndent": true},
+	"encoding/binary": {"Write": true, "AppendUvarint": true, "AppendVarint": true, "Append": true},
+}
+
+// sinkMethods are method names that write bytes on any receiver —
+// bytes.Buffer, strings.Builder, bufio.Writer, hash writers,
+// http.ResponseWriter and the json/gob encoders all converge on these
+// spellings.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass.TypesInfo, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration order reaches %s: emitted bytes differ run to run; "+
+						"collect and sort the keys first, then range over the sorted slice", sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink returns a description of the first byte-emitting call found
+// inside body (including nested closures — a closure built per
+// iteration still runs in iteration order), or "".
+func findSink(info *types.Info, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if sig.Recv() == nil {
+			if fn.Pkg() != nil {
+				if names := sinkFuncs[fn.Pkg().Path()]; names != nil && matchSink(names, fn.Name()) {
+					sink = fn.Pkg().Name() + "." + fn.Name()
+				}
+			}
+			return true
+		}
+		if sinkMethods[fn.Name()] {
+			recv := sig.Recv().Type().String()
+			if i := strings.LastIndexByte(recv, '/'); i >= 0 {
+				recv = recv[i+1:]
+			}
+			sink = "(" + recv + ")." + fn.Name()
+		}
+		return true
+	})
+	return sink
+}
+
+func matchSink(names map[string]bool, name string) bool {
+	if names[name] {
+		return true
+	}
+	// binary.AppendUvarint and friends share the Append prefix.
+	return names["Append"] && strings.HasPrefix(name, "Append")
+}

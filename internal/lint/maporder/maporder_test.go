@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/maporder"
+)
+
+// TestMapRangeSinks: map ranges whose bodies reach fmt/buffer/encoder/
+// binary-append sinks (directly or through a closure) are flagged;
+// collect-then-sort, pure aggregation and a justified //hdmmlint:allow
+// pass.
+func TestMapRangeSinks(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}

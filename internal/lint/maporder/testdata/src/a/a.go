@@ -1,0 +1,93 @@
+// Fixture for maporder: a range over a map whose body reaches a
+// byte-emitting sink is flagged; aggregation-only ranges and the
+// collect-then-sort idiom pass.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Direct package-level sink (Prometheus-style exposition).
+func exposition(w io.Writer, series map[string]float64) {
+	for name, v := range series { // want `map iteration order reaches fmt\.Fprintf`
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+}
+
+// Method sink on a buffer.
+func buffered(counts map[string]int) string {
+	var buf bytes.Buffer
+	for k := range counts { // want `map iteration order reaches \(\*bytes\.Buffer\)\.WriteString`
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+// Encoder sink (the JSON-response shape).
+func respond(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `map iteration order reaches \(json\.Encoder\)\.Encode`
+		if err := enc.Encode(map[string]int{k: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A closure built per iteration still runs in iteration order.
+func deferred(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order reaches fmt\.Fprintln`
+		emit := func() { fmt.Fprintln(w, k) }
+		emit()
+	}
+}
+
+// Codec append family (binary.Append* share the Append prefix).
+func frame(m map[uint64]uint64) []byte {
+	var out []byte
+	for k, v := range m { // want `map iteration order reaches binary\.AppendUvarint`
+		out = binary.AppendUvarint(out, k)
+		out = binary.AppendUvarint(out, v)
+	}
+	return out
+}
+
+// The blessed idiom: collect, sort, then emit from the sorted slice.
+func sortedExposition(w io.Writer, series map[string]float64) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %g\n", k, series[k])
+	}
+}
+
+// Pure aggregation never touches a sink.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Map-to-map aggregation (the metrics.go shape): no bytes emitted.
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// A reviewed exception.
+func debugDump(w io.Writer, m map[string]int) {
+	for k, v := range m { //hdmmlint:allow maporder fixture: debug dump, never byte-compared
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

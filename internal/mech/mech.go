@@ -47,7 +47,7 @@ func NoiseRNG(seed uint64) *rand.Rand {
 		panic(fmt.Sprintf("mech: reading entropy for noise seed: %v", err))
 	}
 	return rand.New(rand.NewPCG(
-		binary.LittleEndian.Uint64(b[:8]),
+		binary.LittleEndian.Uint64(b[:8]), //hdmmlint:allow detrand seed==0 is the production path: the PCG state is drawn from crypto/rand by design so independent runs release independent noise
 		binary.LittleEndian.Uint64(b[8:]),
 	))
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"repro/internal/parallel"
@@ -116,7 +117,10 @@ func (p *Pool) Len() int {
 	return len(p.engines)
 }
 
-// Keys returns the registered engine keys (unordered).
+// Keys returns the registered engine keys in sorted order. Sorted, not
+// map order: callers are one json.Encoder away from serializing this
+// into a response, and every emitted byte sequence in this repo is held
+// to the fixed-state ⇒ identical-bytes contract.
 func (p *Pool) Keys() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -124,5 +128,6 @@ func (p *Pool) Keys() []string {
 	for k := range p.engines {
 		keys = append(keys, k)
 	}
+	sort.Strings(keys)
 	return keys
 }

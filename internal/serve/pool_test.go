@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"errors"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -151,5 +152,26 @@ func TestPoolFailedBuildNotCached(t *testing.T) {
 	})
 	if err != nil || found || eng == nil {
 		t.Fatalf("retry after failure: eng %v, found %v, err %v", eng != nil, found, err)
+	}
+}
+
+// TestPoolKeysSorted: Keys feeds the /v1/engines listing, which the
+// recovery smoke test byte-compares across restarts — map iteration
+// order must never leak out. Registration order here is deliberately
+// unsorted and the check repeats, since Go randomizes map order per
+// iteration: an unsorted implementation fails this test with high
+// probability rather than deterministically.
+func TestPoolKeysSorted(t *testing.T) {
+	pool := serve.NewPool(0)
+	for _, key := range []string{"zeta", "alpha", "mid", "beta"} {
+		if err := pool.Add(key, new(serve.Engine)); err != nil {
+			t.Fatalf("Add(%q): %v", key, err)
+		}
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	for i := 0; i < 32; i++ {
+		if got := pool.Keys(); !slices.Equal(got, want) {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
 	}
 }
