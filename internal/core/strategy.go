@@ -310,6 +310,40 @@ type ReconstructOptions struct {
 	// first reconstruction of a strategy, so later spans are ~0) and
 	// StageSolve covering the LSMR solve. Nil-safe and allocation-free.
 	Trace *obs.Trace
+	// scratch, when non-nil, supplies the residual, solver and output
+	// buffers, making a steady-state reconstruction allocation-free. Owned
+	// by UnionReconstructor — external callers get fresh slices.
+	scratch *reconstructScratch
+}
+
+// reconstructScratch is a UnionReconstructor's buffer set: the solver's
+// scratch, the warm-residual RHS, and two output buffers. Two, not one,
+// because the reconstructor retains its latest result as the next
+// solve's warm start — the next result must land in a different buffer
+// than the warm vector it is solved against (the un-precondition write
+// and the warm add-back would otherwise clobber the warm values they
+// read).
+type reconstructScratch struct {
+	solver lsmr.Scratch
+	rhs    []float64
+	out    [2][]float64
+}
+
+// nextOut returns an output buffer of length n that does not share a
+// backing array with avoid (the warm vector). Choosing by identity
+// rather than by turn keeps the pair correct even when a failed solve
+// leaves the reconstructor's warm state unadvanced.
+func (sc *reconstructScratch) nextOut(n int, avoid []float64) []float64 {
+	buf := &sc.out[0]
+	if len(*buf) > 0 && len(avoid) > 0 && &(*buf)[0] == &avoid[0] {
+		buf = &sc.out[1]
+	}
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	return *buf
 }
 
 // precond builds (once) the right-preconditioned operator pair: the
@@ -526,7 +560,15 @@ func (s *UnionStrategy) ReconstructOpt(y []float64, opts ReconstructOptions) ([]
 		// The residual is preconditioner-independent: compute it on the
 		// original operator, solve the (possibly preconditioned) delta
 		// system, add the warm point back after un-preconditioning.
-		r0 := make([]float64, rows)
+		var r0 []float64
+		if sc := opts.scratch; sc != nil {
+			if cap(sc.rhs) < rows {
+				sc.rhs = make([]float64, rows)
+			}
+			r0 = sc.rhs[:rows]
+		} else {
+			r0 = make([]float64, rows)
+		}
 		op.MatVecTo(r0, opts.Warm, ws)
 		for i, v := range y {
 			r0[i] = v - r0[i]
@@ -534,12 +576,28 @@ func (s *UnionStrategy) ReconstructOpt(y []float64, opts ReconstructOptions) ([]
 		rhs = r0
 	}
 
-	res := lsmr.Solve(solveOp, rhs, lsmr.Options{MaxIter: opts.MaxIter, Workspace: ws, Trace: opts.Trace})
+	var solverScratch *lsmr.Scratch
+	if opts.scratch != nil {
+		solverScratch = &opts.scratch.solver
+	}
+	res := lsmr.Solve(solveOp, rhs, lsmr.Options{
+		MaxIter: opts.MaxIter, Workspace: ws, Scratch: solverScratch, Trace: opts.Trace,
+	})
 	x := res.X
 	if pcM != nil {
 		z := x
-		x = make([]float64, cols)
+		if sc := opts.scratch; sc != nil {
+			x = sc.nextOut(cols, opts.Warm)
+		} else {
+			x = make([]float64, cols)
+		}
 		pcM.MatVecTo(x, z, ws)
+	} else if sc := opts.scratch; sc != nil {
+		// Unpreconditioned with scratch: res.X aliases the solver scratch,
+		// which the NEXT solve overwrites while reading this result as its
+		// warm start — move it into an output buffer.
+		x = sc.nextOut(cols, opts.Warm)
+		copy(x, res.X)
 	}
 	if opts.Warm != nil {
 		for i, v := range opts.Warm {
@@ -628,6 +686,7 @@ func (s *UnionStrategy) ReconstructBatch(ys [][]float64) ([][]float64, error) {
 type UnionReconstructor struct {
 	s       *UnionStrategy
 	ws      *kron.Workspace
+	scratch reconstructScratch
 	prev    []float64
 	info    SolveInfo
 	maxIter int
@@ -644,12 +703,18 @@ func (r *UnionReconstructor) SetMaxIter(n int) { r.maxIter = n }
 // Reconstruct solves for y, warm-started from the previous successful
 // solution. A non-converged solve returns its error and does not poison
 // the warm-start state.
+//
+// The returned slice is drawn from the reconstructor's buffer pair (a
+// steady-state reconstruction allocates nothing): it stays valid while
+// it serves as the next solve's warm start, and is overwritten two
+// successful calls later. Copy it if it must outlive that.
 func (r *UnionReconstructor) Reconstruct(y []float64) ([]float64, error) {
 	x, err := r.s.ReconstructOpt(y, ReconstructOptions{
 		Workspace: r.ws,
 		Warm:      r.prev,
 		MaxIter:   r.maxIter,
 		Info:      &r.info,
+		scratch:   &r.scratch,
 	})
 	if err == nil {
 		r.prev = x

@@ -1,0 +1,20 @@
+// Fixture stand-in for the real mat package: just enough surface for
+// the backend-knob rule's fixtures to type-check.
+package mat
+
+type Backend uint32
+
+const (
+	BackendReference Backend = iota
+	BackendFast
+)
+
+var current Backend
+
+func SetKernelBackend(b Backend) Backend {
+	prev := current
+	current = b
+	return prev
+}
+
+func KernelBackend() Backend { return current }

@@ -1,0 +1,25 @@
+// Fixture for a request-path package: the kernel backend is a startup
+// knob, so flipping it from code that runs per request is a finding —
+// it would mix two arithmetic regimes in one process and mint keys
+// that lie about their provenance. Reading the knob is fine; handlers
+// tag keys and report the backend all the time.
+package server
+
+import (
+	"repro/internal/mat"
+)
+
+// Reading the active backend passes: keys and metrics report it.
+func describeBackend() mat.Backend { return mat.KernelBackend() }
+
+// Flipping the backend from request-path code is the finding.
+func handleTune(want mat.Backend) {
+	mat.SetKernelBackend(want) // want `mat\.SetKernelBackend called from request-path package repro/internal/server`
+}
+
+// The receiver-free call inside any helper of the package is equally
+// illegal — the rule is per-package, not per-handler.
+func resetBackend() {
+	defer mat.SetKernelBackend(mat.BackendReference) // want `mat\.SetKernelBackend called from request-path package repro/internal/server`
+	_ = describeBackend()
+}

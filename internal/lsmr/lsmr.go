@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/kron"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -65,6 +66,15 @@ type Options struct {
 	// allocations regardless of iteration count. nil borrows a pooled
 	// workspace for the duration of the solve.
 	Workspace *kron.Workspace
+	// Scratch, when non-nil, supplies the solver's seven per-solve
+	// vectors (u, v, x, h, h̄ and the two operator temporaries), making a
+	// steady-state solve allocation-free: the workspace covers the
+	// operator applications, the scratch covers the recurrence. The
+	// returned Result.X aliases the scratch's x vector and is valid until
+	// the next solve with the same scratch; X0 must not alias any scratch
+	// vector. nil keeps the historical behavior (fresh vectors per solve,
+	// Result.X owned by the caller).
+	Scratch *Scratch
 	// Trace, when non-nil, receives one StageSolve observation covering the
 	// whole solve (the batch, for SolveBatch). The hook is outside the
 	// iteration loop and allocation-free, so a traced solve performs exactly
@@ -89,6 +99,33 @@ func (o Options) withDefaults(cols int) Options {
 // lsmrParallelLen is the vector length above which the element-wise updates
 // are chunked across cores.
 const lsmrParallelLen = 1 << 16
+
+// Scratch owns the solver's per-solve vectors so repeated solves of
+// same-shaped systems (a serving engine's warm re-reconstructions) reuse
+// them instead of allocating. The zero value is ready; buffers grow to
+// the largest problem seen and are retained. Not safe for concurrent use
+// — one scratch belongs to one solve at a time.
+type Scratch struct {
+	u, v, x, h, hbar, tmpRows, tmpCols []float64
+}
+
+// grow returns *buf resized to n, reusing capacity when it suffices. The
+// contents are unspecified — callers that need zeros use growZero.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	return *buf
+}
+
+// growZero is grow with the returned vector cleared.
+func growZero(buf *[]float64, n int) []float64 {
+	s := grow(buf, n)
+	clear(s)
+	return s
+}
 
 // Result reports the solution and convergence information.
 type Result struct {
@@ -245,7 +282,16 @@ func solve(a kron.Linear, b []float64, opts Options) Result {
 		a.MatTVec(dst, y)
 	}
 
-	u := make([]float64, rows)
+	// All per-solve vectors come from the scratch. A nil opts.Scratch gets
+	// a throwaway one, which makes this exactly the historical seven
+	// allocations (fresh make is already zero, so the growZero clears are
+	// free); a caller-held scratch makes the whole solve allocation-free
+	// in steady state.
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	u := grow(&sc.u, rows)
 	if opts.X0 != nil {
 		// Warm start: run on the residual system b − A·x0 and add x0 back
 		// before returning.
@@ -260,7 +306,7 @@ func solve(a kron.Linear, b []float64, opts Options) Result {
 	if beta > 0 {
 		scale(1/beta, u)
 	}
-	v := make([]float64, cols)
+	v := growZero(&sc.v, cols)
 	alpha := 0.0
 	if beta > 0 {
 		matTVec(v, u)
@@ -270,7 +316,7 @@ func solve(a kron.Linear, b []float64, opts Options) Result {
 		}
 	}
 
-	x := make([]float64, cols)
+	x := growZero(&sc.x, cols)
 	if alpha*beta == 0 {
 		addVec(x, opts.X0)
 		return Result{X: x, Stopped: StoppedZeroRHS}
@@ -278,11 +324,12 @@ func solve(a kron.Linear, b []float64, opts Options) Result {
 
 	rec := newRecurrence(alpha, beta)
 
-	h := append([]float64(nil), v...)
-	hbar := make([]float64, cols)
+	h := grow(&sc.h, cols)
+	copy(h, v)
+	hbar := growZero(&sc.hbar, cols)
 
-	tmpRows := make([]float64, rows)
-	tmpCols := make([]float64, cols)
+	tmpRows := grow(&sc.tmpRows, rows)
+	tmpCols := grow(&sc.tmpCols, cols)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -571,17 +618,17 @@ func sym(a, b float64) (c, s, r float64) {
 	return a / r, b / r, r
 }
 
-// norm2 returns ‖x‖₂. The fast path is the historical plain sum of squares
-// — bit-identical for every input whose squared sum stays finite — and only
-// when that sum overflows to +Inf (large well-scaled vectors: ~1e154
-// entries square past MaxFloat64 while the norm itself is representable),
-// or underflows all the way to zero on a non-zero vector, does it fall back
-// to a scaled two-pass accumulation.
+// norm2 returns ‖x‖₂. The fast path is the plain sum of squares in the
+// active kernel backend's accumulation order (mat.SqSum: the historical
+// serial chain under reference, lane-split under fast) — and only when
+// that sum overflows to +Inf (large well-scaled vectors: ~1e154 entries
+// square past MaxFloat64 while the norm itself is representable), or
+// underflows all the way to zero on a non-zero vector, does it fall back
+// to a scaled two-pass accumulation (serial in both backends: the
+// fallback is too rare to optimize, and keeping one implementation keeps
+// its numerics trivially deterministic).
 func norm2(x []float64) float64 {
-	s := 0.0
-	for _, v := range x {
-		s += v * v
-	}
+	s := mat.SqSum(x)
 	if !math.IsInf(s, 1) && s != 0 {
 		return math.Sqrt(s) // includes NaN inputs: sqrt(NaN) = NaN
 	}

@@ -1,0 +1,56 @@
+//go:build amd64 && !hdmm_noasm
+
+package mat
+
+// The AVX2 kernels are an implementation detail of the fast backend,
+// not a third arithmetic regime: dotAVX2 executes the exact lane
+// assignment and reduction tree dotFastGeneric defines (vmulpd+vaddpd,
+// no FMA), and axpyAVX2 is elementwise, so enabling or disabling the
+// assembly never changes a single bit of output — only throughput.
+// Build with -tags hdmm_noasm to force the pure-Go lanes.
+
+// dotAVX2 computes dotFastGeneric(a, b) with two ymm accumulators.
+// len(b) must be at least len(a).
+//
+//go:noescape
+func dotAVX2(a, b []float64) float64
+
+// axpyAVX2 computes dst[j] += alpha*src[j] for j in [0, len(dst)).
+// len(src) must be at least len(dst).
+//
+//go:noescape
+func axpyAVX2(alpha float64, dst, src []float64)
+
+// cpuidAsm executes CPUID with the given leaf and subleaf.
+func cpuidAsm(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+// haveAVX2 is fixed at process start: the dispatch must not change
+// implementations mid-run (it would not change results, but keeping
+// it immutable makes the perf profile stable and the data race trivially
+// absent).
+var haveAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the CPU supports AVX2 and the OS saves
+// ymm state across context switches (OSXSAVE + XCR0 bits 1 and 2).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // SSE and AVX state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,124 @@
+//go:build amd64 && !hdmm_noasm
+
+#include "textflag.h"
+
+// func dotAVX2(a, b []float64) float64
+//
+// The fast backend's dot product: the 8 accumulator lanes of
+// dotFastGeneric mapped onto two ymm registers. Y0 holds lanes 0-3
+// (elements i, i+1, i+2, i+3 of each 8-group), Y1 holds lanes 4-7.
+// Multiplication and addition stay separate (VMULPD + VADDPD, never
+// FMA) and the reduction reproduces the generic tree
+//   r_j = s_j + s_{j+4};  (r0+r2) + (r1+r3)
+// exactly, so this routine is bit-identical to the pure-Go lanes.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VXORPD Y0, Y0, Y0 // lanes 0-3
+	VXORPD Y1, Y1, Y1 // lanes 4-7
+	MOVQ CX, DX
+	ANDQ $-8, DX      // DX = 8*floor(n/8): end of the vector body
+	XORQ AX, AX       // AX = i
+
+loop8:
+	CMPQ AX, DX
+	JGE  reduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD 32(SI)(AX*8), Y3
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMULPD  Y4, Y2, Y2
+	VMULPD  Y5, Y3, Y3
+	VADDPD  Y2, Y0, Y0
+	VADDPD  Y3, Y1, Y1
+	ADDQ    $8, AX
+	JMP     loop8
+
+reduce:
+	// r = [s0+s4, s1+s5, s2+s6, s3+s7]
+	VADDPD Y1, Y0, Y0
+	// low = [r0, r1], high = [r2, r3]
+	VEXTRACTF128 $1, Y0, X1
+	// [r0+r2, r1+r3]
+	VADDPD X1, X0, X0
+	// (r0+r2) + (r1+r3) in the low lane
+	VPERMILPD $1, X0, X1
+	VADDSD X1, X0, X0
+
+tail:
+	// Remaining n%8 elements accumulate serially onto the reduced sum,
+	// matching dotFastGeneric's tail loop.
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X2
+	VMULSD (DI)(AX*8), X2, X2
+	VADDSD X2, X0, X0
+	INCQ   AX
+	JMP    tail
+
+done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(alpha float64, dst, src []float64)
+//
+// dst[j] += alpha*src[j] for j in [0, len(dst)). Elementwise, so the
+// vectorization cannot reorder any addition: bit-identical to the
+// scalar loop on every input.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ dst_base+8(FP), DI
+	MOVQ dst_len+16(FP), CX
+	MOVQ src_base+32(FP), SI
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	XORQ AX, AX
+
+aloop8:
+	CMPQ AX, DX
+	JGE  atail
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     aloop8
+
+atail:
+	CMPQ AX, CX
+	JGE  adone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ   AX
+	JMP    atail
+
+adone:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || hdmm_noasm
+
+package mat
+
+// Non-amd64 builds (and -tags hdmm_noasm) run the fast backend on the
+// pure-Go lane kernels. Same bits, portable throughput.
+
+const haveAVX2 = false
+
+func dotAVX2(a, b []float64) float64 {
+	panic("mat: dotAVX2 called without AVX2 support")
+}
+
+func axpyAVX2(alpha float64, dst, src []float64) {
+	panic("mat: axpyAVX2 called without AVX2 support")
+}

@@ -10,8 +10,17 @@ func Mul(dst, a, b *Dense) *Dense {
 		panic("mat: Mul dimension mismatch")
 	}
 	dst = prepDst(dst, a.r, b.c)
+	fast := KernelBackend() == BackendFast
 	if w := MulWorkers(); w > 1 && a.r*a.c*b.c >= parallelFlops {
-		shardRows(w, a.r, a.c*b.c, func(lo, hi int) { mulShard(dst, a, b, lo, hi) })
+		shard := mulShard
+		if fast {
+			shard = mulShardFast
+		}
+		shardRows(w, a.r, a.c*b.c, func(lo, hi int) { shard(dst, a, b, lo, hi) })
+		return dst
+	}
+	if fast {
+		mulShardFast(dst, a, b, 0, a.r)
 		return dst
 	}
 	n := b.c
@@ -38,8 +47,17 @@ func MulTN(dst, a, b *Dense) *Dense {
 		panic("mat: MulTN dimension mismatch")
 	}
 	dst = prepDst(dst, a.c, b.c)
+	fast := KernelBackend() == BackendFast
 	if w := MulWorkers(); w > 1 && a.r*a.c*b.c >= parallelFlops {
-		shardRows(w, a.c, a.r*b.c, func(lo, hi int) { mulTNShard(dst, a, b, lo, hi) })
+		shard := mulTNShard
+		if fast {
+			shard = mulTNShardFast
+		}
+		shardRows(w, a.c, a.r*b.c, func(lo, hi int) { shard(dst, a, b, lo, hi) })
+		return dst
+	}
+	if fast {
+		mulTNShardFast(dst, a, b, 0, a.c)
 		return dst
 	}
 	n := b.c
@@ -70,8 +88,17 @@ func MulNT(dst, a, b *Dense) *Dense {
 	// Kronecker mode contraction, where the extra write pass would be pure
 	// memory traffic on the hottest path in the system.
 	dst = prepDstNoZero(dst, a.r, b.r)
+	fast := KernelBackend() == BackendFast
 	if w := MulWorkers(); w > 1 && a.r*a.c*b.r >= parallelFlops {
-		shardRows(w, a.r, a.c*b.r, func(lo, hi int) { mulNTShard(dst, a, b, lo, hi) })
+		shard := mulNTShard
+		if fast {
+			shard = mulNTShardFast
+		}
+		shardRows(w, a.r, a.c*b.r, func(lo, hi int) { shard(dst, a, b, lo, hi) })
+		return dst
+	}
+	if fast {
+		mulNTShardFast(dst, a, b, 0, a.r)
 		return dst
 	}
 	for i := 0; i < a.r; i++ {
@@ -104,11 +131,15 @@ func ContractNT(dst, a, b *Dense) *Dense {
 		panic("mat: ContractNT dimension mismatch")
 	}
 	dst = prepDstNoZero(dst, a.r, b.r)
+	shard := contractNTShard
+	if KernelBackend() == BackendFast {
+		shard = contractNTShardFast
+	}
 	if w := MulWorkers(); w > 1 && a.r*a.c*b.r >= parallelFlops {
-		shardRows(w, b.r, a.r*a.c, func(lo, hi int) { contractNTShard(dst, a, b, lo, hi) })
+		shardRows(w, b.r, a.r*a.c, func(lo, hi int) { shard(dst, a, b, lo, hi) })
 		return dst
 	}
-	contractNTShard(dst, a, b, 0, b.r)
+	shard(dst, a, b, 0, b.r)
 	return dst
 }
 
@@ -138,6 +169,10 @@ func contractNTShard(dst, a, b *Dense, lo, hi int) {
 // accumulated and then mirrored).
 func Gram(dst, a *Dense) *Dense {
 	dst = prepDst(dst, a.c, a.c)
+	if KernelBackend() == BackendFast {
+		gramFast(dst, a)
+		return dst
+	}
 	n := a.c
 	for k := 0; k < a.r; k++ {
 		row := a.Row(k)
@@ -169,6 +204,10 @@ func MatVec(dst []float64, a *Dense, x []float64) []float64 {
 	} else if len(dst) != a.r {
 		panic("mat: MatVec dst length mismatch")
 	}
+	if KernelBackend() == BackendFast {
+		matVecFast(dst, a, x)
+		return dst
+	}
 	for i := 0; i < a.r; i++ {
 		row := a.Row(i)
 		s := 0.0
@@ -193,6 +232,10 @@ func MatTVec(dst []float64, a *Dense, y []float64) []float64 {
 		for i := range dst {
 			dst[i] = 0
 		}
+	}
+	if KernelBackend() == BackendFast {
+		matTVecFast(dst, a, y)
+		return dst
 	}
 	for i := 0; i < a.r; i++ {
 		yi := y[i]

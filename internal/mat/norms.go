@@ -72,10 +72,15 @@ func TraceMul(a, b *Dense) float64 {
 	return s
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. Under the
+// fast backend the accumulation is lane-split (see dotFast); under the
+// reference backend it is the historical serial chain.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("mat: Dot length mismatch")
+	}
+	if KernelBackend() == BackendFast {
+		return dotFast(a, b)
 	}
 	s := 0.0
 	for i, v := range a {
@@ -84,15 +89,34 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
-// Norm2 returns the Euclidean norm of a vector.
-func Norm2(x []float64) float64 {
-	return math.Sqrt(Dot(x, x))
+// SqSum returns the sum of squares of x under the active backend's
+// accumulation order — the primitive behind Norm2 and lsmr's norm
+// computations.
+func SqSum(x []float64) float64 {
+	if KernelBackend() == BackendFast {
+		return dotFast(x, x)
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
 }
 
-// Axpy computes y += a·x in place.
+// Norm2 returns the Euclidean norm of a vector.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(SqSum(x))
+}
+
+// Axpy computes y += a·x in place. Elementwise, so the backends agree
+// to the bit; fast is purely a throughput win.
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mat: Axpy length mismatch")
+	}
+	if KernelBackend() == BackendFast {
+		axpyFast(a, y, x)
+		return
 	}
 	for i, v := range x {
 		y[i] += a * v

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/workload"
 )
 
@@ -74,12 +75,24 @@ func FingerprintHex(w *workload.Workload) string {
 // strategy — Workers (results are bit-identical at any worker count) and
 // the cache placement fields — are excluded, so runs on different machines
 // or cache directories share cache entries.
+//
+// The kernel backend CAN change the selected strategy (lane-split
+// accumulation perturbs the optimizer's floats at ULP, and gradient
+// descent amplifies ULPs into different local optima), so a non-reference
+// backend is mixed into the key. Reference keys are unchanged from every
+// prior release — a cache populated before the backend knob existed keeps
+// hitting — and a strategy minted under fast arithmetic can never be
+// silently served to a reference-backend process or vice versa; the two
+// regimes simply occupy disjoint key spaces.
 func Key(w *workload.Workload, opts core.HDMMOptions) string {
 	fp := Fingerprint(w)
 	h := sha256.New()
 	h.Write([]byte("hdmm-strategy-key-v1\x00"))
 	h.Write(fp[:])
 	h.Write([]byte(paramsToken(opts.Normalized())))
+	if b := mat.KernelBackend(); b != mat.BackendReference {
+		h.Write([]byte(";kernels=" + b.String()))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -236,3 +236,35 @@ func TestKeyIgnoresNonResultOptions(t *testing.T) {
 		t.Error("explicit sub-optimizer defaults produced a different key than zero values")
 	}
 }
+
+// TestKeyTaggedByKernelBackend: strategy bytes minted under the fast
+// kernels live in a disjoint key space — the same workload and options
+// key differently under each backend, while reference keys are
+// byte-for-byte what every pre-backend release computed (the tag is only
+// written when the backend is not the reference), so existing registries
+// remain addressable.
+func TestKeyTaggedByKernelBackend(t *testing.T) {
+	prev := mat.SetKernelBackend(mat.BackendReference)
+	defer mat.SetKernelBackend(prev)
+
+	w := workload.MustNew(schema.Sizes(2, 16),
+		workload.NewProduct(workload.Identity(2), workload.AllRange(16)))
+	opts := core.HDMMOptions{Restarts: 3, Seed: 5}
+
+	refKey := Key(w, opts)
+	if again := Key(w, opts); again != refKey {
+		t.Fatalf("reference key not stable: %s vs %s", refKey, again)
+	}
+	mat.SetKernelBackend(mat.BackendFast)
+	fastKey := Key(w, opts)
+	if fastKey == refKey {
+		t.Fatal("fast and reference backends produced the same strategy key")
+	}
+	if again := Key(w, opts); again != fastKey {
+		t.Fatalf("fast key not stable: %s vs %s", fastKey, again)
+	}
+	mat.SetKernelBackend(mat.BackendReference)
+	if back := Key(w, opts); back != refKey {
+		t.Fatalf("reference key changed after backend round-trip: %s vs %s", back, refKey)
+	}
+}

@@ -211,8 +211,8 @@ func (m *MetricsResponse) prometheus() []byte {
 	counter := func(name, help string, v any) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
 	}
-	fmt.Fprintf(&b, "# HELP hdmm_build_info Build metadata; the value is always 1.\n# TYPE hdmm_build_info gauge\nhdmm_build_info{version=%q,goversion=%q} 1\n",
-		m.Version, runtime.Version())
+	fmt.Fprintf(&b, "# HELP hdmm_build_info Build metadata; the value is always 1.\n# TYPE hdmm_build_info gauge\nhdmm_build_info{version=%q,goversion=%q,kernels=%q} 1\n",
+		m.Version, runtime.Version(), m.Kernels)
 	fmt.Fprintf(&b, "# HELP hdmm_uptime_seconds Seconds since the daemon started.\n# TYPE hdmm_uptime_seconds gauge\nhdmm_uptime_seconds %v\n", m.UptimeSeconds)
 	fmt.Fprintf(&b, "# HELP hdmm_engines Serving engines currently registered.\n# TYPE hdmm_engines gauge\nhdmm_engines %d\n", m.Engines)
 	counter("hdmm_strategy_cache_hits_total", "Strategy lookups served from memory or disk.", m.StrategyCache.Hits)
